@@ -1,0 +1,17 @@
+"""Design ablation (§4.3.3): NIC object-cache capacity sweep on Smallbank.
+Shrinking the cache below the hot set replaces NIC-DRAM hits with DMA
+lookups: throughput falls and latency rises."""
+
+from repro.bench.ablations import cache_capacity_sweep
+
+
+def test_cache_capacity_sweep(benchmark, quick):
+    caps = (64, 1024, 16384, 1 << 20) if quick else (64, 512, 4096, 32768, 1 << 20)
+    rows = benchmark.pedantic(
+        lambda: cache_capacity_sweep(capacities=caps, accounts=4000,
+                                     concurrency=48, verbose=True),
+        rounds=1, iterations=1,
+    )
+    assert rows[0]["hit_rate"] < rows[-1]["hit_rate"]
+    assert rows[-1]["throughput"] > 1.3 * rows[0]["throughput"]
+    assert rows[-1]["median_us"] < rows[0]["median_us"]

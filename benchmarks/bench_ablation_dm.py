@@ -1,0 +1,18 @@
+"""Design ablation (§4.1.2): Robinhood displacement limit sweep — small Dm
+keeps DMA reads tiny but overflows more keys (extra roundtrips)."""
+
+from repro.bench.ablations import displacement_limit_sweep
+
+
+def test_displacement_limit_sweep(benchmark, quick):
+    n = 8000 if quick else 50000
+    rows = benchmark.pedantic(
+        lambda: displacement_limit_sweep(n_keys=n, verbose=True),
+        rounds=1, iterations=1,
+    )
+    objs = [r["objects_read"] for r in rows]
+    rts = [r["roundtrips"] for r in rows]
+    ovf = [r["overflow_frac"] for r in rows]
+    assert objs == sorted(objs)            # bigger Dm -> bigger reads
+    assert rts == sorted(rts, reverse=True)  # ...but fewer roundtrips
+    assert ovf == sorted(ovf, reverse=True)  # ...and less overflow

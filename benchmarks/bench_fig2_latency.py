@@ -1,0 +1,24 @@
+"""Figure 2: roundtrip latency of remote operations.
+
+LiquidIO NIC RPC / DMA read / DMA write / host RPC, initiated from the
+host and from the NIC, versus CX5 RDMA READ/WRITE/ATOMIC and two-sided
+RPC, at 256 B payloads.
+"""
+
+from repro.bench import figure2_latency
+
+
+def test_figure2_latency(benchmark):
+    results = benchmark.pedantic(
+        lambda: figure2_latency(verbose=True), rounds=1, iterations=1
+    )
+    # paper-shape assertions (§3.2)
+    assert results["cx5_read"] < results["lio_read_from_host"]
+    assert results["cx5_write"] < results["lio_write_from_host"]
+    assert results["lio_nic_rpc_from_nic"] < results["cx5_rpc"]
+    assert results["lio_nic_rpc_from_nic"] < min(
+        results["lio_read_from_nic"], results["lio_write_from_nic"]
+    )
+    assert results["lio_host_rpc_from_host"] == max(
+        v for k, v in results.items() if k.startswith("lio_")
+    )

@@ -1,0 +1,21 @@
+"""Figure 3: remote memory write throughput with and without batching,
+to SmartNIC DRAM and host DRAM, vs CX5 RDMA WRITE (16-256 B)."""
+
+from repro.bench import figure3_batching
+
+
+def test_figure3_batching(benchmark, quick):
+    ops = 250 if quick else 1000
+    out = benchmark.pedantic(
+        lambda: figure3_batching(sizes=(16, 64, 256), ops_per_sender=ops,
+                                 verbose=True),
+        rounds=1, iterations=1,
+    )
+    for size in (16, 64, 256):
+        # batching multiplies throughput for small ops (§3.4)
+        assert out["nic_dram_batched"][size] > 2.0 * out["nic_dram_single"][size]
+        assert out["host_dram_batched"][size] > 1.5 * out["host_dram_single"][size]
+        # unbatched ops stall near 10 Mops/s regardless of target memory
+        assert 6.0 <= out["nic_dram_single"][size] <= 12.0
+        # batched NIC-memory writes beat doorbell-batched RDMA
+        assert out["nic_dram_batched"][size] > out["cx5_rdma"][size]

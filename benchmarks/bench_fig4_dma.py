@@ -1,0 +1,19 @@
+"""Figure 4: DMA engine throughput (a) and latency (b), single vs
+15-element vectored submissions, reads and writes."""
+
+from repro.bench import figure4_dma
+
+
+def test_figure4_dma(benchmark, quick):
+    ops = 1200 if quick else 6000
+    out = benchmark.pedantic(
+        lambda: figure4_dma(sizes=(16, 64, 256), total_ops=ops, verbose=True),
+        rounds=1, iterations=1,
+    )
+    for size in (16, 64, 256):
+        # vectoring improves throughput toward the 8.7 Mops/s ceiling
+        assert out["throughput"]["write_x15"][size] > out["throughput"]["write_x1"][size]
+        assert out["throughput"]["write_x15"][size] <= 9.6
+        # completion latency asymmetry: reads ~1.3us, writes ~0.6us (§3.5)
+        assert out["latency"]["read_x1"][size] > out["latency"]["write_x1"][size]
+        assert out["latency"]["write_x1"][size] < 1.5

@@ -1,0 +1,36 @@
+"""Figure 8a: TPC-C New-Order throughput/latency, 5 systems.
+
+The paper: Xenic peaks 2.42x over DrTM+H (the best alternative) and
+3.81x over DrTM+H-NC; FaSST is host-CPU-bound far below; low-load median
+latency is 59% below DrTM+H's.
+"""
+
+from repro.bench import figure8a_tpcc_new_order
+from repro.bench.report import print_curves
+
+
+def peak(results):
+    return max(r.throughput_per_server for r in results)
+
+
+def low_latency(results):
+    return min(r.median_latency_us for r in results)
+
+
+def test_figure8a_tpcc_new_order(benchmark, quick):
+    curves = benchmark.pedantic(
+        lambda: figure8a_tpcc_new_order(quick=quick, verbose=True),
+        rounds=1, iterations=1,
+    )
+    peaks = {s: peak(rs) for s, rs in curves.items()}
+    # who wins: Xenic > DrTM+H > (NC, FaSST, DrTM+R)
+    assert peaks["xenic"] > peaks["drtmh"]
+    assert peaks["xenic"] > 1.5 * peaks["fasst"]
+    assert peaks["drtmh"] > peaks["drtmh_nc"]
+    print("\npeak ratios vs DrTM+H: xenic %.2fx, nc %.2fx, fasst %.2fx, drtmr %.2fx"
+          % (peaks["xenic"] / peaks["drtmh"], peaks["drtmh_nc"] / peaks["drtmh"],
+             peaks["fasst"] / peaks["drtmh"], peaks["drtmr"] / peaks["drtmh"]))
+    lat = {s: low_latency(rs) for s, rs in curves.items()}
+    print("low-load medians (us): %s"
+          % {s: round(v, 1) for s, v in lat.items()})
+    assert lat["xenic"] < lat["drtmh"]

@@ -1,0 +1,26 @@
+"""Figure 8d: Smallbank throughput/latency, 5 systems.
+
+The paper: Xenic peaks 2.21x over DrTM+H; DrTM+H's pointer-cached
+one-sided READs give the best-case RDMA latency, yet Xenic's median is
+still 21.5% lower at low load.
+"""
+
+from repro.bench import figure8d_smallbank
+
+
+def test_figure8d_smallbank(benchmark, quick):
+    curves = benchmark.pedantic(
+        lambda: figure8d_smallbank(quick=quick, verbose=True),
+        rounds=1, iterations=1,
+    )
+    peaks = {s: max(r.throughput_per_server for r in rs)
+             for s, rs in curves.items()}
+    lats = {s: min(r.median_latency_us for r in rs)
+            for s, rs in curves.items()}
+    print("\npeaks (txn/s/server): %s" % {s: int(v) for s, v in peaks.items()})
+    print("low-load medians (us): %s" % {s: round(v, 1) for s, v in lats.items()})
+    print("Xenic/DrTM+H peak ratio: %.2fx (paper: 2.21x)"
+          % (peaks["xenic"] / peaks["drtmh"]))
+    assert peaks["xenic"] > peaks["drtmh"]
+    assert peaks["xenic"] > peaks["drtmr"]
+    assert lats["xenic"] <= lats["drtmh"] * 1.05

@@ -1,0 +1,19 @@
+"""Figure 9a: Retwis throughput, enabling Xenic's throughput features
+sequentially (baseline -> smart remote ops -> Ethernet aggregation ->
+async DMA).  Paper: 1.47x -> 1.98x -> 2.30x over the Xenic baseline."""
+
+from repro.bench import figure9a_throughput_ablation
+
+
+def test_figure9a_throughput_ablation(benchmark, quick):
+    results = benchmark.pedantic(
+        lambda: figure9a_throughput_ablation(quick=quick, verbose=True),
+        rounds=1, iterations=1,
+    )
+    by_label = dict(results)
+    base = by_label["Xenic baseline"]
+    smart = by_label["+Smart remote ops"]
+    full = by_label["+Async DMA"]
+    assert smart > base  # combined ops reduce request count
+    assert full > 1.3 * base  # cumulative gain
+    assert full >= by_label["+Eth aggregation"] * 0.95

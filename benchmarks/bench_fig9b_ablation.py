@@ -1,0 +1,20 @@
+"""Figure 9b: Smallbank median latency at low load, enabling Xenic's
+latency features sequentially (baseline -> smart remote ops -> NIC
+execution -> OCC optimization).  Paper: -20% -> -32% -> -42% vs the
+Xenic baseline, ending 22% below DrTM+H."""
+
+from repro.bench import figure9b_latency_ablation
+
+
+def test_figure9b_latency_ablation(benchmark, quick):
+    results = benchmark.pedantic(
+        lambda: figure9b_latency_ablation(quick=quick, verbose=True),
+        rounds=1, iterations=1,
+    )
+    by_label = dict(results)
+    base = by_label["Xenic baseline"]
+    assert by_label["+Smart remote ops"] < base
+    assert by_label["+NIC execution"] < by_label["+Smart remote ops"]
+    assert by_label["+OCC optimization"] <= by_label["+NIC execution"] * 1.02
+    # the fully optimized system beats DrTM+H (paper: 22% lower)
+    assert by_label["+OCC optimization"] < by_label["DrTM+H"]

@@ -1,0 +1,13 @@
+"""§3.1: off-path SmartNIC (BlueField / Stingray) latency comparison —
+the measurement that rules out off-path devices for Xenic."""
+
+from repro.bench import offpath_comparison
+
+
+def test_offpath_penalty(benchmark):
+    out = benchmark.pedantic(lambda: offpath_comparison(verbose=True),
+                             rounds=1, iterations=1)
+    for device, vals in out.items():
+        # reaching host memory via the SoC costs more than RDMA directly
+        assert vals["remote_to_soc_write_us"] > vals["remote_to_host_write_us"]
+        assert vals["offload_penalty_us"] > 0

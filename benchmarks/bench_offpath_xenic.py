@@ -1,0 +1,15 @@
+"""§4.3.4 platform requirements: Xenic's latency edge needs an on-path
+NIC with a fast host-memory path.  With the PCIe crossing inflated to the
+measured off-path SoC-to-host costs, the advantage evaporates."""
+
+from repro.bench.ablations import offpath_platform_check
+
+
+def test_offpath_platform_check(benchmark):
+    out = benchmark.pedantic(
+        lambda: offpath_platform_check(verbose=True), rounds=1, iterations=1
+    )
+    assert out["onpath_liquidio"] < out["offpath_bluefield"]
+    assert out["offpath_bluefield"] < out["offpath_stingray"]
+    # the off-path penalty is substantial, not marginal (§3.1)
+    assert out["offpath_bluefield"] > 1.5 * out["onpath_liquidio"]

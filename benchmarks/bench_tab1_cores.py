@@ -1,0 +1,13 @@
+"""Table 1: NIC ARM vs host Xeon core performance calibration."""
+
+from repro.bench import table1_cores
+
+
+def test_table1_cores(benchmark):
+    ratios = benchmark.pedantic(lambda: table1_cores(verbose=True),
+                                rounds=1, iterations=1)
+    # Table 1: 3.26x multi-thread, 2.04x single-thread
+    assert 3.0 < ratios["coremark_multi_ratio"] < 3.5
+    assert 1.9 < ratios["coremark_single_ratio"] < 2.2
+    assert abs(ratios["model_job_stretch"] - ratios["coremark_multi_ratio"]) < 0.01
+    assert 0.28 < ratios["nic_host_core_ratio"] < 0.34

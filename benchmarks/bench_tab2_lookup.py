@@ -1,0 +1,31 @@
+"""Table 2: objects read and roundtrips per lookup at 90% occupancy.
+
+Xenic Robinhood (Dm in {8,16,32,unlimited}) vs FaRM Hopscotch (H=8) vs
+DrTM+H chained buckets (B in {4,8,16}).
+"""
+
+from repro.bench import table2_lookup
+
+
+def test_table2_lookup(benchmark, quick):
+    n = 20000 if quick else 200000
+    rows = benchmark.pedantic(
+        lambda: table2_lookup(n_keys=n, verbose=True), rounds=1, iterations=1
+    )
+    by_name = {r.structure: r for r in rows}
+    rh8 = by_name["Xenic Robinhood, Dm=8"]
+    farm = by_name["FaRM Hopscotch, H=8"]
+    # Xenic reads far fewer objects than FaRM's fixed H=8 neighborhood
+    assert rh8.objects_read < 0.6 * farm.objects_read
+    # tighter displacement limits -> smaller reads, slightly more overflow
+    assert (by_name["Xenic Robinhood, Dm=8"].objects_read
+            < by_name["Xenic Robinhood, Dm=16"].objects_read
+            < by_name["Xenic Robinhood, no limit"].objects_read)
+    # unlimited displacement never needs a second roundtrip
+    assert by_name["Xenic Robinhood, no limit"].roundtrips == 1.0
+    # chained buckets: read amplification scales with B, roundtrips shrink
+    assert (by_name["DrTM+H Chained, B=4"].objects_read
+            < by_name["DrTM+H Chained, B=8"].objects_read
+            < by_name["DrTM+H Chained, B=16"].objects_read)
+    assert (by_name["DrTM+H Chained, B=4"].roundtrips
+            > by_name["DrTM+H Chained, B=16"].roundtrips)

@@ -1,0 +1,18 @@
+"""Table 3: minimum (Coremark-normalized) thread counts at >=95% of peak
+throughput for Xenic, DrTM+H, and FaSST on the three benchmarks."""
+
+from repro.bench import table3_thread_counts
+
+
+def test_table3_thread_counts(benchmark, quick):
+    out = benchmark.pedantic(
+        lambda: table3_thread_counts(quick=quick, verbose=True),
+        rounds=1, iterations=1,
+    )
+    for wl in ("retwis", "smallbank"):
+        # Xenic's normalized total undercuts both host-driven systems
+        assert out[wl]["xenic_norm"] < out[wl]["fasst"]
+        # FaSST burns at least as many host threads as DrTM+H (§5.6)
+        assert out[wl]["fasst"] >= out[wl]["drtmh"]
+    # TPC-C is host-compute heavy: Xenic needs many host threads there
+    assert out["tpcc_no"]["xenic_host"] > out["smallbank"]["xenic_host"]

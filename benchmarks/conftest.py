@@ -1,0 +1,19 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation and prints the rows/series it reports.  Set REPRO_FULL=1 to
+run at full (paper-like) scale instead of the quick CI scale.
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture
+def quick():
+    return not full_scale()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Where does a transaction's time go?  Phase-by-phase latency breakdown.
+
+Attaches the Tracer to a coordinator, runs the Smallbank mix at low load,
+and prints the mean time per protocol phase — the same decomposition that
+drives the paper's Figure 9b latency ablation.
+
+Run:  python examples/latency_breakdown.py
+"""
+
+from repro.bench import Bench, Tracer
+from repro.workloads import Smallbank
+
+N_NODES = 3
+
+
+def main():
+    workload = Smallbank(N_NODES, accounts_per_server=4000,
+                         hot_keys_fraction=0.25)
+    bench = Bench("xenic", workload, n_nodes=N_NODES)
+    tracer = Tracer(bench.cluster.protocols[0])
+    result = bench.measure(2, warmup_us=100.0, window_us=400.0)
+    tracer.detach()
+
+    print("median latency: %.1f us (p99 %.1f us), %d txns traced"
+          % (result.median_latency_us, result.p99_latency_us,
+             len(tracer.traces)))
+    print()
+    print("mean time per phase (us):")
+    for phase, mean_us in sorted(tracer.mean_phase_breakdown().items(),
+                                 key=lambda kv: -kv[1]):
+        print("  %-16s %6.2f" % (phase, mean_us))
+
+    slowest = max(tracer.traces, key=lambda t: t.latency_us)
+    print()
+    print("slowest traced txn: %s, %.1f us over %d attempt(s)"
+          % (slowest.label, slowest.latency_us, slowest.attempts))
+    for sample in slowest.phases:
+        print("  %-16s %8.2f -> %8.2f  (%.2f us)"
+              % (sample.phase, sample.start_us, sample.end_us,
+                 sample.duration_us))
+
+
+if __name__ == "__main__":
+    main()

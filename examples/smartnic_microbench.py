@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Replay the paper's §3 SmartNIC characterization (Figures 2-4, §3.1).
+
+Prints the simulated counterparts of the measurements that motivated
+Xenic's design: remote-operation roundtrips (Figure 2), batching gains
+(Figure 3), DMA engine behaviour (Figure 4), the CPU calibration
+(Table 1), and the off-path SmartNIC penalty (§3.1).
+
+Run:  python examples/smartnic_microbench.py
+"""
+
+from repro.bench import (
+    figure2_latency,
+    figure3_batching,
+    figure4_dma,
+    offpath_comparison,
+    table1_cores,
+)
+
+
+def main():
+    figure2_latency(verbose=True)
+    figure3_batching(sizes=(16, 64, 256), ops_per_sender=200, verbose=True)
+    figure4_dma(sizes=(16, 64, 256), total_ops=1200, verbose=True)
+    table1_cores(verbose=True)
+    offpath_comparison(verbose=True)
+
+    print()
+    print("Reading the results against the paper's §3 claims:")
+    print(" - one-sided RDMA beats host-initiated SmartNIC ops on latency,")
+    print("   but NIC-initiated, NIC-handled ops beat two-sided RDMA RPCs;")
+    print(" - batching multiplies small-write throughput while unbatched")
+    print("   ops stall near 10 Mops/s regardless of target memory;")
+    print(" - vectored DMA approaches the 8.7 Mops/s engine ceiling without")
+    print("   added completion latency; and")
+    print(" - off-path SoCs pay more to reach host memory than a remote")
+    print("   RDMA writer does, which is why Xenic targets on-path NICs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Command-line interface: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig2
+    python -m repro fig8d --full
+    python -m repro tab2 --keys 50000
+    python -m repro ablation-cache
+
+Each command prints the same rows/series the paper reports; ``--full``
+switches from the quick CI scale to a larger (slower) configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import (
+    cache_capacity_sweep,
+    displacement_limit_sweep,
+    figure2_latency,
+    figure3_batching,
+    figure4_dma,
+    figure8a_tpcc_new_order,
+    figure8b_tpcc_full,
+    figure8c_retwis,
+    figure8d_smallbank,
+    figure9a_throughput_ablation,
+    figure9b_latency_ablation,
+    offpath_comparison,
+    offpath_platform_check,
+    table1_cores,
+    table2_lookup,
+    table3_thread_counts,
+)
+
+COMMANDS = {
+    "fig2": ("Figure 2: remote-op roundtrip latency",
+             lambda a: figure2_latency(verbose=True)),
+    "fig3": ("Figure 3: batched vs single remote writes",
+             lambda a: figure3_batching(
+                 sizes=(16, 64, 256),
+                 ops_per_sender=1000 if a.full else 250, verbose=True)),
+    "fig4": ("Figure 4: DMA engine throughput/latency",
+             lambda a: figure4_dma(
+                 sizes=(16, 64, 256),
+                 total_ops=6000 if a.full else 1200, verbose=True)),
+    "tab1": ("Table 1: ARM vs Xeon calibration",
+             lambda a: table1_cores(verbose=True)),
+    "tab2": ("Table 2: lookup cost at 90% occupancy",
+             lambda a: table2_lookup(n_keys=a.keys, verbose=True)),
+    "fig8a": ("Figure 8a: TPC-C New-Order curves",
+              lambda a: figure8a_tpcc_new_order(quick=not a.full,
+                                                verbose=True)),
+    "fig8b": ("Figure 8b: full TPC-C mix",
+              lambda a: figure8b_tpcc_full(quick=not a.full, verbose=True,
+                                           systems=("xenic", "drtmr"))),
+    "fig8c": ("Figure 8c: Retwis curves",
+              lambda a: figure8c_retwis(quick=not a.full, verbose=True)),
+    "fig8d": ("Figure 8d: Smallbank curves",
+              lambda a: figure8d_smallbank(quick=not a.full, verbose=True)),
+    "tab3": ("Table 3: thread counts at >=95% of peak",
+             lambda a: table3_thread_counts(quick=not a.full, verbose=True)),
+    "fig9a": ("Figure 9a: throughput feature ladder",
+              lambda a: figure9a_throughput_ablation(quick=not a.full,
+                                                     verbose=True)),
+    "fig9b": ("Figure 9b: latency feature ladder",
+              lambda a: figure9b_latency_ablation(quick=not a.full,
+                                                  verbose=True)),
+    "offpath": ("§3.1: off-path SmartNIC measurements",
+                lambda a: offpath_comparison(verbose=True)),
+    "ablation-cache": ("NIC cache capacity sweep",
+                       lambda a: cache_capacity_sweep(verbose=True)),
+    "ablation-dm": ("Robinhood displacement-limit sweep",
+                    lambda a: displacement_limit_sweep(n_keys=a.keys,
+                                                       verbose=True)),
+    "ablation-offpath": ("Xenic on an off-path platform (§4.3.4)",
+                         lambda a: offpath_platform_check(verbose=True)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the Xenic paper's tables and figures "
+                    "(simulated).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    all_parser = sub.add_parser("all", help="run every experiment")
+    all_parser.add_argument("--full", action="store_true")
+    all_parser.add_argument("--keys", type=int, default=20000)
+    for name, (help_text, _fn) in COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--full", action="store_true",
+                       help="larger, slower configuration")
+        p.add_argument("--keys", type=int, default=20000,
+                       help="keyspace size for table-structure experiments")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in (None, "list"):
+        width = max(len(name) for name in COMMANDS)
+        for name, (help_text, _fn) in COMMANDS.items():
+            print("%-*s  %s" % (width, name, help_text))
+        return 0
+    if args.command == "all":
+        for name, (help_text, fn) in COMMANDS.items():
+            print("\n### %s" % help_text)
+            fn(args)
+        return 0
+    _help, fn = COMMANDS[args.command]
+    fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

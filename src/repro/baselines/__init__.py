@@ -1,0 +1,24 @@
+"""Baseline transaction systems over the RDMA NIC model (§5.1)."""
+
+from .common import BaselineCluster, BaselineCoordinator, BaselineNode
+from .drtmh import DrTMH, DrTMH_NC
+from .drtmr import DrTMR
+from .fasst import FaSST
+
+SYSTEMS = {
+    "drtmh": DrTMH,
+    "drtmh_nc": DrTMH_NC,
+    "fasst": FaSST,
+    "drtmr": DrTMR,
+}
+
+__all__ = [
+    "BaselineCluster",
+    "BaselineCoordinator",
+    "BaselineNode",
+    "DrTMH",
+    "DrTMH_NC",
+    "FaSST",
+    "DrTMR",
+    "SYSTEMS",
+]

@@ -1,0 +1,188 @@
+"""DrTM+H and DrTM+H-NC baselines (§2.2.2, §5.1).
+
+DrTM+H is the hybrid design: one-sided READs for execution-phase reads and
+validation (one roundtrip thanks to the coordinator's remote-address
+cache), one-sided WRITEs for logging, and two-sided RPCs for locking and
+committing writes.
+
+The NC ("no remote caching") variant disables the address cache, so every
+remote read and validation traverses the chained bucket structure with one
+one-sided READ per bucket — the read amplification and extra roundtrips
+quantified in Table 2 and exposed in Figure 8a.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .common import BaselineCoordinator, HOST_PER_KEY_US, OBJ_HEADER
+
+__all__ = ["DrTMH", "DrTMH_NC"]
+
+RPC_HEADER = 18
+PER_KEY = 10
+
+
+class DrTMH(BaselineCoordinator):
+    """Hybrid one-sided/two-sided design with remote address caching."""
+
+    name = "drtmh"
+    address_cache = True
+
+    # -- reads ------------------------------------------------------------
+
+    def _read_roundtrips(self, shard: int, key: int) -> List[int]:
+        """Byte sizes of the sequential one-sided READs needed for one
+        remote lookup (one entry per roundtrip)."""
+        if self.address_cache:
+            return [self._obj_bytes(shard, key)]
+        table = self.cluster.nodes[shard].tables[shard]
+        res = table.lookup(key)
+        per_bucket = table.b * (self.cluster.value_size + OBJ_HEADER)
+        return [per_bucket] * max(1, res.roundtrips)
+
+    def _one_sided_read(self, txn, shard, key):
+        """Sequential READ roundtrips, last one observing the object."""
+        sizes = self._read_roundtrips(shard, key)
+        target = self._rdma_to(shard)
+        result = {}
+
+        def observe():
+            obj = self._primary_obj(shard, key)
+            if obj is None:
+                result[key] = (None, 0, False)
+            else:
+                result[key] = (
+                    obj.value, obj.version,
+                    obj.locked and obj.lock_owner != txn.txn_id,
+                )
+            return result[key]
+
+        for i, nbytes in enumerate(sizes):
+            yield from self._issue()
+            last = i == len(sizes) - 1
+            value = yield self.node.rdma.read(
+                target, nbytes, on_target=observe if last else None
+            )
+        return value
+
+    # -- EXECUTE ------------------------------------------------------------
+
+    def _remote_execute(self, txn, shard, rkeys, wkeys):
+        # every key is first fetched with one-sided READ(s): value +
+        # version (+ lock word), in parallel (doorbell-batched)
+        all_keys = list(dict.fromkeys(rkeys + wkeys))
+        read_evs = [
+            self.sim.spawn(self._one_sided_read(txn, shard, k), name="osr")
+            for k in all_keys
+        ]
+        results = yield self.sim.all_of(read_evs)
+        for k, (value, version, _locked) in zip(all_keys, results):
+            txn.read_values[k] = (value, version)
+        # write-set keys then need a *separate* lock RPC (writes go over
+        # RPC in DrTM+H); the handler verifies the version read earlier is
+        # still current, so locking doubles as write-set validation
+        if not wkeys:
+            return True
+        expected = {k: txn.read_values[k][1] for k in wkeys}
+
+        def lock_at_versions():
+            acquired = []
+            for k in wkeys:
+                obj = self._primary_obj(shard, k)
+                if (obj is None or obj.version != expected[k]
+                        or not obj.try_lock(txn.txn_id)):
+                    for kk in acquired:
+                        self._primary_obj(shard, kk).unlock(txn.txn_id)
+                    return False
+                acquired.append(k)
+            return True
+
+        yield from self._issue()
+        req = RPC_HEADER + (PER_KEY + 6) * len(wkeys)
+        ok = yield self.node.rdma.rpc(
+            self._rdma_to(shard), req, RPC_HEADER,
+            handler_ref_us=HOST_PER_KEY_US * len(wkeys),
+            on_target=lock_at_versions,
+        )
+        if not ok:
+            self.stats.inc("lock_conflicts")
+            return False
+        for k in wkeys:
+            txn.record_lock(shard, k)
+        return True
+
+    # -- VALIDATE ------------------------------------------------------------
+
+    def _remote_validate(self, txn, shard, keys):
+        evs = [
+            self.sim.spawn(self._validate_one(txn, shard, k), name="val1")
+            for k in keys
+        ]
+        results = yield self.sim.all_of(evs)
+        return all(results)
+
+    def _validate_one(self, txn, shard, k):
+        # re-read the version word (+lock) with one-sided READ(s)
+        sizes = self._read_roundtrips(shard, k)
+        sizes[-1] = OBJ_HEADER  # version-only read on the final hop
+        target = self._rdma_to(shard)
+
+        def observe():
+            obj = self._primary_obj(shard, k)
+            if obj is None:
+                return (0, True)
+            return (obj.version,
+                    obj.locked and obj.lock_owner != txn.txn_id)
+
+        for i, nbytes in enumerate(sizes):
+            yield from self._issue()
+            last = i == len(sizes) - 1
+            out = yield self.node.rdma.read(
+                target, nbytes, on_target=observe if last else None
+            )
+        version, locked = out
+        if locked or version != txn.read_values[k][1]:
+            return False
+        return True
+
+    # -- COMMIT ------------------------------------------------------------
+
+    def _remote_commit(self, txn, shard, writes):
+        def apply_commit():
+            self._apply_commit_at(shard, txn, writes)
+            return True
+
+        yield from self._issue()
+        req = RPC_HEADER + len(writes) * (PER_KEY + self._write_bytes(txn))
+        yield self.node.rdma.rpc(
+            self._rdma_to(shard), req, RPC_HEADER,
+            handler_ref_us=HOST_PER_KEY_US * len(writes),
+            on_target=apply_commit,
+        )
+
+    # -- aborts ------------------------------------------------------------
+
+    def _remote_unlock(self, txn, shard, keys):
+        def unlock():
+            for k in keys:
+                obj = self._primary_obj(shard, k)
+                if obj is not None and obj.lock_owner == txn.txn_id:
+                    obj.unlock(txn.txn_id)
+            return True
+
+        yield from self._issue()
+        req = RPC_HEADER + PER_KEY * len(keys)
+        yield self.node.rdma.rpc(
+            self._rdma_to(shard), req, RPC_HEADER,
+            handler_ref_us=HOST_PER_KEY_US * len(keys),
+            on_target=unlock,
+        )
+
+
+class DrTMH_NC(DrTMH):
+    """DrTM+H with the coordinator's remote-address cache disabled: every
+    remote lookup traverses the chained buckets over one-sided READs."""
+
+    name = "drtmh_nc"
+    address_cache = False

@@ -1,0 +1,186 @@
+"""DrTM+R baseline (§2.2.2): all-one-sided, lock-everything design.
+
+Remote locking uses one-sided ATOMIC compare-and-swap; instead of
+optimistic reads plus validation, the coordinator locks *every* key in
+the transaction (reads included), reads values under lock, logs with
+one-sided WRITEs, and commits with a WRITE of the value followed by an
+ATOMIC unlock per key.  No validation phase exists.  The extra per-key
+verbs are the cost that Figure 8 exposes.
+"""
+
+from __future__ import annotations
+
+from .common import BaselineCoordinator, HOST_PER_KEY_US
+
+__all__ = ["DrTMR"]
+
+
+class DrTMR(BaselineCoordinator):
+    """Lock-all one-sided coordinator."""
+
+    name = "drtmr"
+
+    # -- EXECUTE: CAS-lock every key, then READ each value --------------------
+
+    def _remote_execute(self, txn, shard, rkeys, wkeys):
+        all_keys = list(dict.fromkeys(rkeys + wkeys))
+        target = self._rdma_to(shard)
+        # CAS-lock every key (doorbell-batched in parallel)
+        cas_evs = []
+        for k in all_keys:
+            def cas(k=k):
+                obj = self._primary_obj(shard, k)
+                if obj is None or not obj.try_lock(txn.txn_id):
+                    return None
+                return obj.version
+
+            yield from self._issue()
+            cas_evs.append(self.node.rdma.atomic(target, 8, on_target=cas))
+        versions = yield self.sim.all_of(cas_evs)
+        failed = [k for k, v in zip(all_keys, versions) if v is None]
+        for k, v in zip(all_keys, versions):
+            if v is not None:
+                txn.record_lock(shard, k)
+                txn.read_values[k] = (None, v)
+        if failed:
+            self.stats.inc("lock_conflicts")
+            return False
+        # READ each value under lock, in parallel
+        read_evs = []
+        for k in rkeys:
+            def observe(k=k):
+                obj = self._primary_obj(shard, k)
+                return obj.value if obj is not None else None
+
+            yield from self._issue()
+            read_evs.append(self.node.rdma.read(
+                target, self._obj_bytes(shard, k), on_target=observe
+            ))
+        if read_evs:
+            values = yield self.sim.all_of(read_evs)
+            for k, value in zip(rkeys, values):
+                txn.read_values[k] = (value, txn.read_values[k][1])
+        return True
+
+    def _local_execute(self, txn, shard, rkeys, wkeys):
+        """DrTM+R locks local keys too (via HTM on real hardware)."""
+        all_keys = list(dict.fromkeys(rkeys + wkeys))
+        yield from self.node.host_cores.run_wall(
+            HOST_PER_KEY_US * max(1, len(all_keys))
+        )
+        for k in all_keys:
+            obj = self._primary_obj(shard, k)
+            if obj is None or not obj.try_lock(txn.txn_id):
+                self.stats.inc("lock_conflicts")
+                return False
+            txn.record_lock(shard, k)
+            txn.read_values[k] = (obj.value, obj.version)
+        return True
+
+    # -- VALIDATE: none (everything is locked) --------------------------------
+
+    def _validate_phase(self, txn):
+        return True
+        yield  # pragma: no cover
+
+    # -- COMMIT: WRITE value + ATOMIC unlock per key --------------------------
+
+    def _remote_commit(self, txn, shard, writes):
+        evs = [
+            self.sim.spawn(self._commit_one(txn, shard, k, v), name="cmt1")
+            for k, v in writes.items()
+        ]
+        for _ in evs:
+            yield from self._issue()
+            yield from self._issue()
+        yield self.sim.all_of(evs)
+        # release read locks on this shard (keys locked but not written)
+        yield from self._unlock_read_keys(txn, shard, exclude=set(writes))
+
+    def _commit_one(self, txn, shard, k, v):
+        target = self._rdma_to(shard)
+        # DrTM+R writes back the updated fields plus the version word
+
+        def apply():
+            table = self.cluster.nodes[shard].tables[shard]
+            obj = table.get_object(k)
+            if obj is None:
+                from ..store.object import VersionedObject
+
+                obj = VersionedObject(k, value=v,
+                                      size=self.cluster.value_size)
+                table.insert(k, obj)
+                obj.lock_owner = txn.txn_id
+            obj.commit_write(v)
+            return True
+
+        yield self.node.rdma.write(
+            target, self._write_bytes(txn) + 16, on_target=apply
+        )
+
+        def unlock():
+            obj = self._primary_obj(shard, k)
+            if obj is not None and obj.lock_owner == txn.txn_id:
+                obj.unlock(txn.txn_id)
+            return True
+
+        yield self.node.rdma.atomic(target, 8, on_target=unlock)
+
+    def _unlock_read_keys(self, txn, shard, exclude):
+        keys = [k for k in txn.locked.get(shard, []) if k not in exclude]
+        target = self._rdma_to(shard)
+        for k in keys:
+            def unlock(k=k):
+                obj = self._primary_obj(shard, k)
+                if obj is not None and obj.lock_owner == txn.txn_id:
+                    obj.unlock(txn.txn_id)
+                return True
+
+            if shard == self.node.node_id:
+                unlock()
+                continue
+            yield from self._issue()
+            yield self.node.rdma.atomic(target, 8, on_target=unlock)
+
+    def _release_read_locks(self, txn):
+        """Read-only transactions must still unlock everything."""
+        for shard in list(txn.locked):
+            if shard == self.node.node_id:
+                for k in txn.locked[shard]:
+                    obj = self._primary_obj(shard, k)
+                    if obj is not None and obj.lock_owner == txn.txn_id:
+                        obj.unlock(txn.txn_id)
+            else:
+                yield from self._unlock_read_keys(txn, shard, exclude=set())
+        txn.clear_locks()
+
+    # -- aborts ------------------------------------------------------------
+
+    def _remote_unlock(self, txn, shard, keys):
+        target = self._rdma_to(shard)
+        for k in keys:
+            def unlock(k=k):
+                obj = self._primary_obj(shard, k)
+                if obj is not None and obj.lock_owner == txn.txn_id:
+                    obj.unlock(txn.txn_id)
+                return True
+
+            yield from self._issue()
+            yield self.node.rdma.atomic(target, 8, on_target=unlock)
+
+    def _commit_phase(self, txn):
+        yield from super()._commit_phase(txn)
+        # remaining read locks: read-only shards, plus the local shard's
+        # read keys (remote written shards were handled by _remote_commit)
+        written_shards = set(self._writes_by_shard(txn))
+        for shard in list(txn.locked):
+            if shard == self.node.node_id:
+                for k in txn.locked[shard]:
+                    if k in txn.write_values:
+                        continue
+                    obj = self._primary_obj(shard, k)
+                    if obj is not None and obj.lock_owner == txn.txn_id:
+                        obj.unlock(txn.txn_id)
+            elif shard not in written_shards:
+                yield from self._unlock_read_keys(txn, shard, exclude=set())
+        txn.clear_locks()

@@ -1,0 +1,114 @@
+"""FaSST baseline (§2.2.2): all remote operations are two-sided RPCs.
+
+No specialized remote data structure is needed — lookups and insertions
+happen locally at the RPC handler — and FaSST consolidates multiple
+operations into one RPC (read + lock in a single execution-phase message
+per shard).  The cost is host CPU at every node: each RPC burns a target
+host core, which is what caps FaSST's throughput in Figure 8 (and its
+thread count in Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .common import BaselineCoordinator, HOST_PER_KEY_US, OBJ_HEADER
+
+__all__ = ["FaSST"]
+
+RPC_HEADER = 18
+PER_KEY = 10
+PER_VERSION = 6
+
+
+class FaSST(BaselineCoordinator):
+    """All-RPC coordinator."""
+
+    name = "fasst"
+
+    def _rpc(self, shard, req_bytes, resp_bytes, n_keys, on_target):
+        yield from self._issue()
+        result = yield self.node.rdma.rpc(
+            self._rdma_to(shard), req_bytes, resp_bytes,
+            handler_ref_us=HOST_PER_KEY_US * max(1, n_keys),
+            on_target=on_target,
+        )
+        return result
+
+    # -- EXECUTE: one consolidated read+lock RPC per shard ------------------
+
+    def _remote_execute(self, txn, shard, rkeys, wkeys):
+        def handler():
+            acquired = []
+            out: Dict[int, tuple] = {}
+            for k in wkeys:
+                obj = self._primary_obj(shard, k)
+                if obj is None or not obj.try_lock(txn.txn_id):
+                    for kk in acquired:
+                        self._primary_obj(shard, kk).unlock(txn.txn_id)
+                    return None
+                acquired.append(k)
+                out[k] = (obj.value, obj.version)
+            for k in rkeys:
+                obj = self._primary_obj(shard, k)
+                out[k] = (obj.value, obj.version) if obj is not None else (None, 0)
+            return out
+
+        n = len(set(rkeys) | set(wkeys))
+        req = RPC_HEADER + PER_KEY * n
+        resp = RPC_HEADER + n * (self.cluster.value_size + OBJ_HEADER)
+        result = yield from self._rpc(shard, req, resp, n, handler)
+        if result is None:
+            self.stats.inc("lock_conflicts")
+            return False
+        for k, (value, version) in result.items():
+            txn.read_values.setdefault(k, (value, version))
+        for k in wkeys:
+            txn.record_lock(shard, k)
+        return True
+
+    # -- VALIDATE: one RPC per shard ------------------------------------------
+
+    def _remote_validate(self, txn, shard, keys):
+        def handler():
+            for k in keys:
+                obj = self._primary_obj(shard, k)
+                _v, ver = txn.read_values[k]
+                if obj is None or obj.version != ver or (
+                    obj.locked and obj.lock_owner != txn.txn_id
+                ):
+                    return False
+            return True
+
+        req = RPC_HEADER + (PER_KEY + PER_VERSION) * len(keys)
+        ok = yield from self._rpc(shard, req, RPC_HEADER, len(keys), handler)
+        return bool(ok)
+
+    # -- LOG: RPC to each backup (no one-sided verbs at all) -----------------
+
+    def _remote_log(self, txn, shard, backup, writes, apply_fn):
+        req = self._record_bytes(writes, self._write_bytes(txn))
+        ok = yield from self._rpc(backup, req, RPC_HEADER, len(writes),
+                                  apply_fn)
+        return bool(ok)
+
+    # -- COMMIT ------------------------------------------------------------
+
+    def _remote_commit(self, txn, shard, writes):
+        def handler():
+            self._apply_commit_at(shard, txn, writes)
+            return True
+
+        req = RPC_HEADER + len(writes) * (PER_KEY + self._write_bytes(txn))
+        yield from self._rpc(shard, req, RPC_HEADER, len(writes), handler)
+
+    def _remote_unlock(self, txn, shard, keys):
+        def handler():
+            for k in keys:
+                obj = self._primary_obj(shard, k)
+                if obj is not None and obj.lock_owner == txn.txn_id:
+                    obj.unlock(txn.txn_id)
+            return True
+
+        req = RPC_HEADER + PER_KEY * len(keys)
+        yield from self._rpc(shard, req, RPC_HEADER, len(keys), handler)

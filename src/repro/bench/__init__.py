@@ -1,0 +1,54 @@
+"""Benchmark harness: experiment runners for every table and figure."""
+
+from .ablations import (
+    cache_capacity_sweep,
+    displacement_limit_sweep,
+    offpath_platform_check,
+)
+from .experiments import (
+    figure2_latency,
+    figure3_batching,
+    figure4_dma,
+    figure8a_tpcc_new_order,
+    figure8b_tpcc_full,
+    figure8c_retwis,
+    figure8d_smallbank,
+    figure9a_throughput_ablation,
+    figure9b_latency_ablation,
+    offpath_comparison,
+    table1_cores,
+    table2_lookup,
+    table3_thread_counts,
+)
+from .report import format_table, print_curves, print_table
+from .runner import Bench, RunResult, run_point, run_sweep
+from .trace import PhaseSample, Tracer, TxnTrace
+
+__all__ = [
+    "Bench",
+    "RunResult",
+    "run_point",
+    "run_sweep",
+    "figure2_latency",
+    "figure3_batching",
+    "figure4_dma",
+    "table1_cores",
+    "table2_lookup",
+    "figure8a_tpcc_new_order",
+    "figure8b_tpcc_full",
+    "figure8c_retwis",
+    "figure8d_smallbank",
+    "table3_thread_counts",
+    "figure9a_throughput_ablation",
+    "figure9b_latency_ablation",
+    "offpath_comparison",
+    "cache_capacity_sweep",
+    "displacement_limit_sweep",
+    "offpath_platform_check",
+    "format_table",
+    "print_table",
+    "print_curves",
+    "Tracer",
+    "TxnTrace",
+    "PhaseSample",
+]

@@ -1,0 +1,54 @@
+"""Fixed-width table and series printers for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["print_table", "print_curves", "format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return "%.0f" % cell
+        if abs(cell) >= 10:
+            return "%.1f" % cell
+        return "%.2f" % cell
+    return str(cell)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    print()
+    print("== %s ==" % title)
+    print(format_table(headers, rows))
+
+
+def print_curves(title: str, curves: Dict[str, List]) -> None:
+    """Print throughput/latency curves: {system: [RunResult, ...]}."""
+    print()
+    print("== %s ==" % title)
+    headers = ["system", "concurrency", "tput/server (txn/s)",
+               "median lat (us)", "p99 (us)", "aborts"]
+    rows = []
+    for system, results in curves.items():
+        for r in results:
+            rows.append([system, r.concurrency,
+                         "%.0f" % r.throughput_per_server,
+                         r.median_latency_us, r.p99_latency_us, r.aborts])
+    print(format_table(headers, rows))

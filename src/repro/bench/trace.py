@@ -1,0 +1,145 @@
+"""Per-transaction event tracing for debugging and analysis.
+
+Wraps a :class:`XenicProtocol` (non-invasively, via method interposition)
+to record a timeline of protocol phases for each transaction: PCIe
+hand-off, execute, logic, validate, log, commit-report.  Used by the
+``trace_transactions`` helper to answer "where does the time go?" —
+the same breakdown that drove the §5.7 latency ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["PhaseSample", "TxnTrace", "Tracer"]
+
+
+@dataclass
+class PhaseSample:
+    phase: str
+    start_us: float
+    end_us: float
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class TxnTrace:
+    txn_id: int
+    label: str
+    started_at: float
+    committed_at: float = 0.0
+    attempts: int = 1
+    phases: List[PhaseSample] = field(default_factory=list)
+
+    @property
+    def latency_us(self) -> float:
+        return self.committed_at - self.started_at
+
+    def phase_totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for sample in self.phases:
+            totals[sample.phase] = totals.get(sample.phase, 0.0) + sample.duration_us
+        return totals
+
+
+class Tracer:
+    """Interposes on one protocol instance and records phase timelines.
+
+    Usage::
+
+        tracer = Tracer(cluster.protocols[0])
+        ... run transactions ...
+        tracer.detach()
+        for trace in tracer.traces:
+            print(trace.txn_id, trace.phase_totals())
+    """
+
+    PHASES = ("_phase_execute", "_run_logic", "_phase_validate",
+              "_phase_log", "_phase_commit", "_multihop")
+
+    def __init__(self, protocol, max_traces: int = 10000):
+        self.protocol = protocol
+        self.sim = protocol.sim
+        self.max_traces = max_traces
+        self.traces: List[TxnTrace] = []
+        self._live: Dict[int, TxnTrace] = {}
+        self._originals = {}
+        self._attach()
+
+    # -- interposition ------------------------------------------------------
+
+    def _attach(self) -> None:
+        proto = self.protocol
+        self._originals["run_transaction"] = proto.run_transaction
+        tracer = self
+
+        def run_transaction(spec, _orig=proto.run_transaction):
+            gen = _orig(spec)
+            txn = yield from gen
+            if len(tracer.traces) < tracer.max_traces:
+                # keep the live entry registered: background phases
+                # (e.g. the COMMIT continuation) finish after the commit
+                # report and still attach their samples
+                trace = tracer._live.setdefault(
+                    txn.txn_id,
+                    TxnTrace(txn.txn_id, spec.label, txn.started_at),
+                )
+                trace.started_at = txn.started_at
+                trace.committed_at = txn.committed_at
+                trace.attempts = txn.attempts
+                trace.label = spec.label
+                tracer.traces.append(trace)
+                if len(tracer._live) > 4096:
+                    tracer._prune()
+            return txn
+
+        proto.run_transaction = run_transaction
+
+        for name in self.PHASES:
+            original = getattr(proto, name)
+            self._originals[name] = original
+
+            def wrapper(*args, _orig=original, _name=name, **kw):
+                txn = args[0]
+                start = tracer.sim.now
+                result = yield from _orig(*args, **kw)
+                trace = tracer._live.setdefault(
+                    txn.txn_id,
+                    TxnTrace(txn.txn_id, txn.spec.label, txn.started_at),
+                )
+                trace.phases.append(
+                    PhaseSample(_name.lstrip("_"), start, tracer.sim.now))
+                return result
+
+            setattr(proto, name, wrapper)
+
+    def detach(self) -> None:
+        for name, original in self._originals.items():
+            setattr(self.protocol, name, original)
+        self._originals.clear()
+        self._live.clear()
+
+    def _prune(self) -> None:
+        for txn_id in [t for t, tr in self._live.items() if tr.committed_at]:
+            del self._live[txn_id]
+
+    # -- analysis ------------------------------------------------------------
+
+    def mean_phase_breakdown(self) -> Dict[str, float]:
+        """Mean µs per phase across completed traces."""
+        totals: Dict[str, float] = {}
+        if not self.traces:
+            return totals
+        for trace in self.traces:
+            for phase, dur in trace.phase_totals().items():
+                totals[phase] = totals.get(phase, 0.0) + dur
+        return {k: v / len(self.traces) for k, v in totals.items()}
+
+    def mean_latency_us(self) -> float:
+        if not self.traces:
+            return 0.0
+        return sum(t.latency_us for t in self.traces) / len(self.traces)

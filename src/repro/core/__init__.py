@@ -1,0 +1,27 @@
+"""Xenic core: configuration, transactions, protocol, cluster, recovery."""
+
+from .cluster import XenicCluster
+from .config import XenicConfig, ablation_ladder_latency, ablation_ladder_throughput
+from .messages import Request, Response
+from .node import XenicNode
+from .protocol import XenicProtocol
+from .recovery import ClusterManager, RecoveryManager, RecoveryReport
+from .txn import Transaction, TxnSpec, TxnStatus, make_txn_id
+
+__all__ = [
+    "XenicCluster",
+    "XenicConfig",
+    "XenicNode",
+    "XenicProtocol",
+    "Transaction",
+    "TxnSpec",
+    "TxnStatus",
+    "make_txn_id",
+    "Request",
+    "Response",
+    "ClusterManager",
+    "RecoveryManager",
+    "RecoveryReport",
+    "ablation_ladder_throughput",
+    "ablation_ladder_latency",
+]

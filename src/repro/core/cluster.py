@@ -1,0 +1,160 @@
+"""Cluster construction: nodes, partitioning, replication, loading."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..hw.network import Fabric
+from ..sim.core import Simulator
+from .config import XenicConfig
+from .node import XenicNode
+from .protocol import XenicProtocol
+
+__all__ = ["XenicCluster"]
+
+
+class XenicCluster:
+    """A set of Xenic nodes over one fabric, with a keyspace partitioner.
+
+    ``partition`` maps a key to its shard (default: modulo).  Every shard's
+    primary is the same-numbered node; backups follow it round-robin.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        config: XenicConfig = None,
+        keys_per_shard: int = 4096,
+        value_size: int = 64,
+        partition: Optional[Callable[[int], int]] = None,
+    ):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.config = config or XenicConfig()
+        self.value_size = value_size
+        self.partition = partition or (lambda key: key % n_nodes)
+        self.fabric = Fabric(sim)
+        self.nodes: List[XenicNode] = [
+            XenicNode(
+                sim, self.fabric, i, n_nodes, self.config,
+                keys_per_shard=keys_per_shard, value_size=value_size,
+            )
+            for i in range(n_nodes)
+        ]
+        self.protocols: List[XenicProtocol] = [
+            XenicProtocol(self, node) for node in self.nodes
+        ]
+        self._primary: Dict[int, int] = {i: i for i in range(n_nodes)}
+        self.failed: set = set()
+        self._workers_started = False
+
+    def start(self) -> None:
+        """Spawn the background host worker threads (idempotent)."""
+        if self._workers_started:
+            return
+        self._workers_started = True
+        for node in self.nodes:
+            for w in range(self.config.host_worker_threads):
+                self.sim.spawn(
+                    node.worker_loop(), name="n%d.worker%d" % (node.node_id, w)
+                )
+
+    # -- placement ------------------------------------------------------------
+
+    def shard_of(self, key: int) -> int:
+        return self.partition(key)
+
+    def primary_node_id(self, shard: int) -> int:
+        return self._primary[shard]
+
+    def primary_of(self, shard: int) -> XenicNode:
+        return self.nodes[self._primary[shard]]
+
+    def set_primary(self, shard: int, node_id: int) -> None:
+        """Recovery: repoint a shard's primary (the node must already hold
+        a replica and a NIC index for it)."""
+        self.nodes[node_id].index_for(shard)  # validates
+        self._primary[shard] = node_id
+
+    def backups_of(self, shard: int) -> List[int]:
+        """Live backup node ids for ``shard`` (a promoted primary and
+        failed nodes are excluded)."""
+        primary = self._primary[shard]
+        return [
+            n
+            for n in self.nodes[shard].backups_of(shard)
+            if n != primary and n not in self.failed
+        ]
+
+    # -- loading ------------------------------------------------------------
+
+    def load_key(self, key: int, value: Any = None, size: Optional[int] = None) -> None:
+        """Install a key on its primary and every backup replica."""
+        size = size if size is not None else self.value_size
+        shard = self.shard_of(key)
+        self.nodes[shard].load_object(shard, key, value, size)
+        for backup in self.backups_of(shard):
+            self.nodes[backup].load_object(shard, key, value, size)
+
+    def load_keys(self, keys, value_fn: Optional[Callable[[int], Any]] = None,
+                  size: Optional[int] = None) -> None:
+        for key in keys:
+            self.load_key(key, value_fn(key) if value_fn else None, size)
+
+    def prewarm_nic_caches(self) -> None:
+        """Install every primary object into its NIC cache (up to
+        capacity), modeling the steady state of a long-running system
+        where the hot set has been pulled into NIC DRAM."""
+        for shard in range(self.n_nodes):
+            node = self.primary_of(shard)
+            index = node.index_for(shard)
+            budget = index.cache_capacity - index.cache_size
+            for obj in node.tables[shard].objects():
+                if budget <= 0:
+                    break
+                if not index.cache_contains(obj.key):
+                    index.install_cache(obj.key, obj.value)
+                    budget -= 1
+
+    # -- verification helpers ------------------------------------------------
+
+    def read_committed_value(self, key: int):
+        """Authoritative committed value of a key: the primary NIC cache if
+        pinned/cached, else the primary host table (follows promotions)."""
+        from .txn import TOMBSTONE
+
+        shard = self.shard_of(key)
+        node = self.primary_of(shard)
+        hit, value = node.index_for(shard).cache_lookup(key)
+        if hit:
+            return None if value is TOMBSTONE else value
+        obj = node.tables[shard].get_object(key)
+        if obj is None or obj.value is TOMBSTONE:
+            return None
+        return obj.value
+
+    def replica_divergence(self) -> Dict[int, int]:
+        """Count keys whose backup replica version lags the primary's
+        *applied* host version (should be 0 once logs drain)."""
+        lag = {}
+        for shard in range(self.n_nodes):
+            primary = self.nodes[shard].tables[shard]
+            for backup_id in self.backups_of(shard):
+                table = self.nodes[backup_id].tables[shard]
+                for obj in primary.objects():
+                    other = table.get_object(obj.key)
+                    if other is None or other.version != obj.version:
+                        lag[shard] = lag.get(shard, 0) + 1
+        return lag
+
+    def drain_logs(self, limit_us: float = 1e7) -> None:
+        """Run the simulation until every node's log is fully applied."""
+        deadline = self.sim.now + limit_us
+        while any(n.log.in_log for n in self.nodes):
+            if self.sim.now > deadline:
+                raise RuntimeError("logs failed to drain")
+            if not self.sim.step():
+                break

@@ -1,0 +1,93 @@
+"""Protocol message kinds and wire-size accounting.
+
+Wire sizes matter: three of the four benchmarks are network-bandwidth
+bound at peak (§5), so per-message header economy is where Xenic's
+aggregated, software-defined messaging beats per-op RDMA framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "MsgKind",
+    "Request",
+    "Response",
+    "request_size",
+    "response_size",
+    "EXECUTE",
+    "VALIDATE",
+    "LOG",
+    "COMMIT",
+    "UNLOCK",
+    "EXEC_SHIP",
+    "LOG_ACK_TO",
+]
+
+# message kinds
+EXECUTE = "execute"  # read values + lock write keys at a primary
+VALIDATE = "validate"  # re-check versions at a primary
+LOG = "log"  # replicate write set to a backup
+COMMIT = "commit"  # apply write set at the primary
+UNLOCK = "unlock"  # abort path: release locks
+EXEC_SHIP = "exec_ship"  # multi-hop: ship execution to a remote primary
+LOG_ACK_TO = "log_ack_to"  # backup ack redirected to the coordinator NIC
+
+MsgKind = str
+
+APP_HEADER = 18  # txn id, kind, shard, flags, count
+PER_KEY = 10  # key + per-key flags
+PER_VERSION = 6
+ACK = 10
+
+
+@dataclass
+class Request:
+    kind: MsgKind
+    txn_id: int
+    shard: int
+    coord_node: int
+    read_keys: List[int] = field(default_factory=list)
+    write_keys: List[int] = field(default_factory=list)
+    versions: Dict[int, int] = field(default_factory=dict)
+    write_values: Dict[int, Any] = field(default_factory=dict)
+    # multi-hop fields
+    spec: Any = None  # TxnSpec for shipped execution
+    pre_read: Dict[int, Tuple[Any, int]] = field(default_factory=dict)
+    reply_to: Optional[int] = None  # node to send the (final) ack to
+    value_bytes: Optional[int] = None  # per-write payload size override
+
+
+@dataclass
+class Response:
+    kind: MsgKind
+    txn_id: int
+    shard: int
+    ok: bool
+    read_values: Dict[int, Tuple[Any, int]] = field(default_factory=dict)
+    versions: Dict[int, int] = field(default_factory=dict)  # write-key versions
+    write_values: Dict[int, Any] = field(default_factory=dict)  # multi-hop
+    reason: Optional[str] = None
+
+
+def request_size(req: Request, value_size: int) -> int:
+    """Bytes of an outbound request on the wire."""
+    size = APP_HEADER
+    vb = req.value_bytes if req.value_bytes is not None else value_size
+    size += PER_KEY * (len(req.read_keys) + len(req.write_keys))
+    size += PER_VERSION * len(req.versions)
+    size += (PER_KEY + vb) * len(req.write_values)
+    size += (PER_KEY + PER_VERSION + value_size) * len(req.pre_read)
+    if req.spec is not None:
+        size += getattr(req.spec, "external_state_bytes", 0) + 8
+    return size
+
+
+def response_size(resp: Response, value_size: int) -> int:
+    """Bytes of a response on the wire."""
+    size = ACK
+    size += (PER_KEY + PER_VERSION + value_size) * len(resp.read_values)
+    size += PER_VERSION * len(resp.versions)
+    size += (PER_KEY + value_size) * len(resp.write_values)
+    return size

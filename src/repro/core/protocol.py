@@ -1,0 +1,1043 @@
+"""Xenic's distributed OCC commit protocol (§4.2).
+
+One :class:`XenicProtocol` instance per node plays three roles:
+
+* **host coordinator** (``run_transaction``) — admits transactions from
+  the application, runs the local fast path (§4.2.4), or hands the
+  transaction state to the coordinator-side NIC over PCIe;
+* **coordinator-side NIC** — drives EXECUTE / VALIDATE / LOG / COMMIT
+  against remote primaries and backups, runs shipped execution logic
+  (§4.2.2), and applies the multi-hop patterns of Figure 7b (§4.2.3);
+* **server-side NIC** — handles inbound requests against the local
+  NIC index and host table, with locks and authoritative versions living
+  in NIC memory.
+
+All compute is charged to the owning core groups; all data movement goes
+through the modeled DMA engine, PCIe channel, and Ethernet fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..hw.network import NetMessage
+from ..sim.stats import Counter
+from ..store.log import LogRecord, record_size_bytes
+from .messages import (
+    COMMIT,
+    EXEC_SHIP,
+    EXECUTE,
+    LOG,
+    UNLOCK,
+    VALIDATE,
+    Request,
+    Response,
+    request_size,
+    response_size,
+)
+from .nic_runtime import NicRuntime, PendingTable
+from .txn import NeedMoreKeys, TOMBSTONE, Transaction, TxnSpec, TxnStatus
+
+__all__ = ["XenicProtocol"]
+
+# Abort backoff: linear in the attempt count, in microseconds.
+ABORT_BACKOFF_US = 1.5
+# NIC-side admission cost for a new transaction (wall-µs on a NIC core).
+NIC_ADMIT_US = 0.08
+# Host-side completion handling per transaction (wall-µs on an app core).
+HOST_COMPLETE_US = 0.15
+# Log-append retry interval when the host log is full (back-pressure).
+LOG_RETRY_US = 2.0
+# Small PCIe payloads (control messages).
+DONE_MSG_BYTES = 24
+
+
+class XenicProtocol:
+    """Protocol engine for one node."""
+
+    def __init__(self, cluster, node):
+        self.cluster = cluster
+        self.node = node
+        self.sim = node.sim
+        self.config = node.config
+        self.runtime = NicRuntime(self.sim, node.nic, node.config)
+        self.host_pending = PendingTable(self.sim)
+        self.stats = Counter()
+        self._req_seq = 0
+        node.nic.set_handler(self._on_wire)
+        node.pcie.set_handlers(self._on_pcie_host, self._on_pcie_nic)
+        node.protocol = self
+
+    # ------------------------------------------------------------------
+    # host-side API
+    # ------------------------------------------------------------------
+
+    def run_transaction(self, spec: TxnSpec):
+        """Host coordinator entry point (generator).  Retries on abort;
+        returns the committed :class:`Transaction`."""
+        txn = Transaction(self.node.next_txn_id(), self.node.node_id, spec)
+        txn.started_at = self.sim.now
+        while True:
+            ok = yield from self._attempt(txn)
+            if ok:
+                break
+            self.stats.inc("aborts")
+            txn.reset_for_retry()
+            yield self.sim.timeout(ABORT_BACKOFF_US * min(txn.attempts, 16))
+        txn.committed_at = self.sim.now
+        txn.status = TxnStatus.COMMITTED
+        self.stats.inc("commits")
+        return txn
+
+    def _attempt(self, txn: Transaction):
+        spec = txn.spec
+        if spec.local_compute_us > 0:
+            yield from self.node.host_app_cores.run(spec.local_compute_us)
+        shards = {self.cluster.shard_of(k) for k in spec.all_keys()}
+        own = self.node.node_id
+        if (spec.single_round and shards <= {own}
+                and self.cluster.primary_node_id(own) == own):
+            ok = yield from self._local_attempt(txn)
+            return ok
+        # distributed: hand the transaction state to the coordinator NIC
+        fut = self.host_pending.expect(("done", txn.txn_id, txn.attempts))
+        self.node.pcie.host_to_nic(self._txn_state_bytes(spec), ("start", txn))
+        ok, _reason = yield fut
+        yield from self.node.host_app_cores.run_wall(HOST_COMPLETE_US)
+        return ok
+
+    def _txn_state_bytes(self, spec: TxnSpec) -> int:
+        return 18 + 10 * len(spec.all_keys()) + spec.external_state_bytes
+
+    # ------------------------------------------------------------------
+    # local fast path (§4.2.4)
+    # ------------------------------------------------------------------
+
+    def _local_attempt(self, txn: Transaction):
+        spec = txn.spec
+        shard = self.node.node_id
+        table = self.node.tables[shard]
+        n_keys = len(spec.all_keys())
+        # optimistic execution on the host against the host-side table
+        yield from self.node.host_app_cores.run_wall(
+            self.config.host_per_key_us * max(1, n_keys)
+        )
+        for k in spec.read_keys:
+            value, version = self.node.read_local(k)
+            if value is TOMBSTONE:
+                value = None
+            txn.read_values[k] = (value, version)
+        if txn.read_only:
+            # no PCIe, no network: validate against host versions (atomic
+            # within this handler activation)
+            self.stats.inc("local_readonly")
+            return True
+        if spec.logic_cost_us > 0:
+            yield from self.node.host_app_cores.run(spec.logic_cost_us)
+        txn.write_values = txn.run_logic()
+        fut = self.host_pending.expect(("done", txn.txn_id, txn.attempts))
+        state_bytes = self._txn_state_bytes(spec) + sum(
+            10 + self._value_bytes(k) for k in txn.write_values
+        )
+        self.node.pcie.host_to_nic(state_bytes, ("local_commit", txn))
+        ok, _reason = yield fut
+        return ok
+
+    def _nic_local_commit(self, txn: Transaction):
+        """Coordinator-NIC side of a local write transaction: lock,
+        validate against the authoritative NIC versions, replicate, commit."""
+        index = self.node.index
+        shard = self.node.node_id
+        yield from self.runtime.handle_message_cost(len(txn.spec.all_keys()))
+        locked: List[int] = []
+        ok = True
+        for k in txn.write_values:
+            if not index.try_lock(k, txn.txn_id):
+                ok = False
+                break
+            locked.append(k)
+        if ok:
+            for k, (_v, ver) in txn.read_values.items():
+                if k in txn.write_values:
+                    continue
+                if index.is_locked(k, txn.txn_id) or index.read_version(k) != ver:
+                    ok = False
+                    break
+            # host may have read stale (not-yet-applied) values: versions
+            # for the write set must also match
+            if ok:
+                for k in txn.write_values:
+                    host_ver = txn.read_values.get(k, (None, None))[1]
+                    if host_ver is not None and index.read_version(k) != host_ver:
+                        ok = False
+                        break
+        if not ok:
+            for k in locked:
+                index.unlock(k, txn.txn_id)
+            self._notify_host(txn, False, "local-conflict")
+            return
+        for k in locked:
+            txn.record_lock(shard, k)
+        versions = {k: index.read_version(k) for k in txn.write_values}
+        ok = yield from self._replicate_shard(txn, shard, txn.write_values, versions)
+        if not ok:
+            for k in locked:
+                index.unlock(k, txn.txn_id)
+            self._notify_host(txn, False, "log-failed")
+            return
+        self._notify_host(txn, True, None)
+        yield from self._commit_local(txn, shard, txn.write_values)
+
+    # ------------------------------------------------------------------
+    # coordinator-side NIC
+    # ------------------------------------------------------------------
+
+    def _nic_coordinate(self, txn: Transaction):
+        spec = txn.spec
+        yield from self.runtime.nic_compute(NIC_ADMIT_US)
+        by_shard = self._group_by_shard(spec)
+        if self._multihop_applicable(txn, by_shard):
+            yield from self._multihop(txn, by_shard)
+            return
+        ok, reason = yield from self._phase_execute(txn, by_shard)
+        if not ok:
+            yield from self._abort_cleanup(txn)
+            self._notify_host(txn, False, reason)
+            return
+        # execution rounds: multi-shot logic may extend the key sets and
+        # re-run until it produces the final write set (§4.2 step 3)
+        if spec.logic is not None or not txn.read_only:
+            round_no = 0
+            while True:
+                result = yield from self._run_logic(txn, round_no)
+                if isinstance(result, NeedMoreKeys):
+                    self.stats.inc("multi_shot_rounds")
+                    txn.add_keys(result)
+                    delta = self._group_keys(result.read_keys,
+                                             result.write_keys)
+                    ok, reason = yield from self._phase_execute(txn, delta)
+                    if not ok:
+                        yield from self._abort_cleanup(txn)
+                        self._notify_host(txn, False, reason)
+                        return
+                    round_no += 1
+                    continue
+                txn.write_values = result or {}
+                break
+        by_shard = self._group_keys(txn.effective_read_keys(),
+                                    txn.effective_write_keys())
+        ok, reason = yield from self._phase_validate(txn, by_shard)
+        if not ok:
+            yield from self._abort_cleanup(txn)
+            self._notify_host(txn, False, reason)
+            return
+        if txn.read_only:
+            self._notify_host(txn, True, None)
+            return
+        ok = yield from self._phase_log(txn)
+        if not ok:
+            yield from self._abort_cleanup(txn)
+            self._notify_host(txn, False, "log-failed")
+            return
+        # Committed: report to the host, then apply at the primaries.
+        self._notify_host(txn, True, None)
+        yield from self._phase_commit(txn)
+
+    def _group_by_shard(
+        self, spec: TxnSpec
+    ) -> Dict[int, Tuple[List[int], List[int]]]:
+        return self._group_keys(spec.read_keys, spec.write_keys)
+
+    def _group_keys(
+        self, read_keys, write_keys
+    ) -> Dict[int, Tuple[List[int], List[int]]]:
+        groups: Dict[int, Tuple[List[int], List[int]]] = {}
+        for k in read_keys:
+            groups.setdefault(self.cluster.shard_of(k), ([], []))[0].append(k)
+        for k in write_keys:
+            groups.setdefault(self.cluster.shard_of(k), ([], []))[1].append(k)
+        return groups
+
+    def _run_logic(self, txn: Transaction, round_no: int = 0):
+        """Run one execution round; returns the logic result (a final
+        write-value dict, or NeedMoreKeys for multi-shot logic)."""
+        spec = txn.spec
+        if self.config.nic_execution and spec.ship_execution:
+            # execute on the coordinator-side NIC (§4.2.2): reference cost
+            # scaled by the wimpy-core ratio
+            yield from self.node.nic.cores.run(spec.logic_cost_us)
+            self.stats.inc("nic_executions")
+            return txn.run_logic()
+        # PCIe roundtrip to the host for application execution
+        fut = self.runtime.pending.expect(
+            ("logic", txn.txn_id, txn.attempts, round_no))
+        read_bytes = sum(
+            16 + self._value_bytes(k) for k in txn.read_values
+        )
+        self.node.pcie.nic_to_host(read_bytes, ("logic_req", txn, round_no))
+        result = yield fut
+        self.stats.inc("host_executions")
+        return result
+
+    # -- EXECUTE ------------------------------------------------------------
+
+    def _phase_execute(self, txn: Transaction, by_shard):
+        txn.status = TxnStatus.EXECUTING
+        evs = []
+        shard_list = []
+        single_shard = len(by_shard) == 1
+        for shard, (rkeys, wkeys) in by_shard.items():
+            inline = (
+                self.config.smart_remote_ops and single_shard and txn.read_only
+            )
+            primary = self.cluster.primary_node_id(shard)
+            if primary == self.node.node_id:
+                # in the ablation baseline, local locks move to wave 2 too
+                w1_wkeys = wkeys if self.config.smart_remote_ops else []
+                evs.append(
+                    self.sim.spawn(
+                        self._execute_core(shard, txn.txn_id, rkeys,
+                                           w1_wkeys, inline),
+                        name="exec-local",
+                    )
+                )
+                shard_list.append(shard)
+            elif self.config.smart_remote_ops:
+                req = Request(
+                    EXECUTE, txn.txn_id, shard, txn.coord_node,
+                    read_keys=rkeys, write_keys=wkeys,
+                )
+                if inline:
+                    req.versions = {"inline": 1}  # flag: validate inline
+                evs.append(self._send_request(primary, req))
+                shard_list.append(shard)
+            else:
+                # ablation baseline: per-key read requests now; per-key
+                # lock requests follow in a second wave, mirroring the
+                # one-sided read -> lock -> validate sequence (§5.7)
+                for k in rkeys:
+                    evs.append(
+                        self._send_request(
+                            primary,
+                            Request(EXECUTE, txn.txn_id, shard,
+                                    txn.coord_node, read_keys=[k]),
+                        )
+                    )
+                    shard_list.append(shard)
+        responses = yield self.sim.all_of(evs)
+        if not self.config.smart_remote_ops:
+            lock_evs = []
+            for shard, (_rkeys, wkeys) in by_shard.items():
+                primary = self.cluster.primary_node_id(shard)
+                for k in wkeys:
+                    if primary == self.node.node_id:
+                        lock_evs.append(self.sim.spawn(
+                            self._execute_core(shard, txn.txn_id, [], [k]),
+                            name="lock-local"))
+                    else:
+                        lock_evs.append(self._send_request(
+                            primary,
+                            Request(EXECUTE, txn.txn_id, shard,
+                                    txn.coord_node, write_keys=[k])))
+            if lock_evs:
+                lock_responses = yield self.sim.all_of(lock_evs)
+                responses = list(responses) + list(lock_responses)
+        ok = True
+        reason = None
+        for resp in responses:
+            if not resp.ok:
+                ok = False
+                reason = resp.reason or "execute-abort"
+                continue
+            txn.read_values.update(resp.read_values)
+            # resp.versions holds exactly the write keys this request locked
+            for k, ver in resp.versions.items():
+                txn.read_values.setdefault(k, (None, ver))
+                txn.record_lock(resp.shard, k)
+        if ok and len(by_shard) == 1 and txn.read_only and self.config.smart_remote_ops:
+            txn.status = TxnStatus.VALIDATING  # validated inline
+        return ok, reason
+
+    # -- VALIDATE ------------------------------------------------------------
+
+    def _phase_validate(self, txn: Transaction, by_shard):
+        txn.status = TxnStatus.VALIDATING
+        write_set = set(txn.write_values) | set(txn.effective_write_keys())
+        to_check = [k for k in txn.effective_read_keys()
+                    if k not in write_set]
+        if not to_check:
+            return True, None
+        if (
+            self.config.smart_remote_ops
+            and txn.read_only
+            and len(by_shard) == 1
+        ):
+            return True, None  # validated inline during EXECUTE
+        groups: Dict[int, Dict[int, int]] = {}
+        for k in to_check:
+            groups.setdefault(self.cluster.shard_of(k), {})[k] = txn.read_values[k][1]
+        evs = []
+        for shard, versions in groups.items():
+            primary = self.cluster.primary_node_id(shard)
+            if primary == self.node.node_id:
+                evs.append(
+                    self.sim.spawn(
+                        self._validate_core(shard, txn.txn_id, versions),
+                        name="validate-local",
+                    )
+                )
+            elif self.config.smart_remote_ops:
+                evs.append(
+                    self._send_request(
+                        primary,
+                        Request(VALIDATE, txn.txn_id, shard, txn.coord_node,
+                                versions=versions),
+                    )
+                )
+            else:
+                for k, ver in versions.items():
+                    evs.append(
+                        self._send_request(
+                            primary,
+                            Request(VALIDATE, txn.txn_id, shard,
+                                    txn.coord_node, versions={k: ver}),
+                        )
+                    )
+        responses = yield self.sim.all_of(evs)
+        for resp in responses:
+            if not resp.ok:
+                return False, resp.reason or "validate-abort"
+        return True, None
+
+    # -- LOG ------------------------------------------------------------
+
+    def _writes_by_shard(self, txn: Transaction) -> Dict[int, Dict[int, object]]:
+        groups: Dict[int, Dict[int, object]] = {}
+        for k, v in txn.write_values.items():
+            groups.setdefault(self.cluster.shard_of(k), {})[k] = v
+        return groups
+
+    def _write_versions(self, txn: Transaction, keys) -> Dict[int, int]:
+        versions = {}
+        for k in keys:
+            captured = txn.read_values.get(k)
+            versions[k] = captured[1] if captured is not None else 0
+        return versions
+
+    def _phase_log(self, txn: Transaction):
+        txn.status = TxnStatus.LOGGING
+        evs = []
+        for shard, writes in self._writes_by_shard(txn).items():
+            versions = self._write_versions(txn, writes)
+            evs.append(
+                self.sim.spawn(
+                    self._replicate_shard_collect(txn, shard, writes, versions),
+                    name="log-shard",
+                )
+            )
+        results = yield self.sim.all_of(evs)
+        return all(results)
+
+    def _replicate_shard_collect(self, txn, shard, writes, versions):
+        ok = yield from self._replicate_shard(txn, shard, writes, versions)
+        return ok
+
+    def _replicate_shard(self, txn, shard: int, writes, versions):
+        """Send LOG records for one shard's write set to all its backups;
+        completes when every backup has acknowledged the durable append."""
+        evs = []
+        for backup in self.cluster.backups_of(shard):
+            req = Request(
+                LOG, txn.txn_id, shard, txn.coord_node,
+                write_values=dict(writes), versions=dict(versions),
+                value_bytes=txn.spec.write_bytes,
+            )
+            if backup == self.node.node_id:
+                evs.append(
+                    self.sim.spawn(self._log_core(req), name="log-local")
+                )
+            else:
+                evs.append(self._send_request(backup, req))
+        responses = yield self.sim.all_of(evs)
+        return all(r.ok for r in responses)
+
+    # -- COMMIT ------------------------------------------------------------
+
+    def _phase_commit(self, txn: Transaction):
+        txn.status = TxnStatus.COMMITTING
+        evs = []
+        for shard, writes in self._writes_by_shard(txn).items():
+            primary = self.cluster.primary_node_id(shard)
+            if primary == self.node.node_id:
+                evs.append(
+                    self.sim.spawn(
+                        self._commit_local(txn, shard, writes),
+                        name="commit-local",
+                    )
+                )
+            else:
+                evs.append(
+                    self._send_request(
+                        primary,
+                        Request(COMMIT, txn.txn_id, shard, txn.coord_node,
+                                write_values=dict(writes),
+                                value_bytes=txn.spec.write_bytes),
+                    )
+                )
+        yield self.sim.all_of(evs)
+
+    def _commit_local(self, txn: Transaction, shard: int, writes):
+        resp = yield from self._commit_core(
+            Request(COMMIT, txn.txn_id, shard, txn.coord_node,
+                    write_values=dict(writes),
+                    value_bytes=txn.spec.write_bytes)
+        )
+        return resp
+
+    # -- abort cleanup ------------------------------------------------------------
+
+    def _abort_cleanup(self, txn: Transaction):
+        """Release locks acquired at primaries during EXECUTE."""
+        for shard, keys in list(txn.locked.items()):
+            if not keys:
+                continue
+            primary = self.cluster.primary_node_id(shard)
+            if primary == self.node.node_id:
+                index = self.node.index_for(shard)
+                for k in keys:
+                    meta = index._meta.get(k)
+                    if meta is not None and meta.lock_owner == txn.txn_id:
+                        index.unlock(k, txn.txn_id)
+            else:
+                req = Request(UNLOCK, txn.txn_id, shard, txn.coord_node,
+                              write_keys=list(keys))
+                self._send_oneway(primary, req)
+        txn.clear_locks()
+        return
+        yield  # pragma: no cover - make this a generator
+
+    # ------------------------------------------------------------------
+    # multi-hop OCC (§4.2.3, Figure 7b)
+    # ------------------------------------------------------------------
+
+    def _multihop_applicable(self, txn: Transaction, by_shard) -> bool:
+        if not self.config.multihop_occ:
+            return False
+        spec = txn.spec
+        if txn.read_only or not spec.ship_execution or not spec.single_round:
+            return False
+        local = self.node.node_id
+        remote = [s for s in by_shard if s != local]
+        # single remote shard, or local + one remote shard
+        return len(remote) == 1
+
+    def _multihop(self, txn: Transaction, by_shard):
+        spec = txn.spec
+        local = self.node.node_id
+        remote = [s for s in by_shard if s != local][0]
+        remote_primary = self.cluster.primary_node_id(remote)
+        index = self.node.index
+        self.stats.inc("multihop")
+
+        local_keys = []
+        if local in by_shard:
+            rkeys, wkeys = by_shard[local]
+            local_keys = list(dict.fromkeys(rkeys + wkeys))
+        # Lock every local key (reads too: execution happens remotely, so
+        # the lock stands in for validation) and gather local read values.
+        yield from self.runtime.nic_compute(
+            NIC_ADMIT_US + self.config.nic_per_key_us * len(local_keys)
+        )
+        locked: List[int] = []
+        for k in local_keys:
+            if not index.try_lock(k, txn.txn_id):
+                for kk in locked:
+                    index.unlock(kk, txn.txn_id)
+                self._notify_host(txn, False, "multihop-local-conflict")
+                return
+            locked.append(k)
+        pre_read = {}
+        local_reads = by_shard.get(local, ([], []))[0]
+        if local_reads:
+            fetched = yield self.sim.all_of([
+                self.sim.spawn(self._fetch_value(local, k), name="fetch")
+                for k in local_reads
+            ])
+            for k, (value, version) in zip(local_reads, fetched):
+                pre_read[k] = (value, version)
+        for k in by_shard.get(local, ([], []))[1]:
+            if k not in pre_read:
+                pre_read[k] = (None, index.read_version(k))
+
+        # Count expected backup acks: backups of every involved shard.
+        n_acks = sum(len(self.cluster.backups_of(s)) for s in by_shard)
+        ack_key = ("mh_log", txn.txn_id, txn.attempts)
+        fut_acks = self.runtime.pending.expect_count(ack_key, n_acks)
+
+        rkeys, wkeys = by_shard.get(remote, ([], []))
+        req = Request(
+            EXEC_SHIP, txn.txn_id, remote, txn.coord_node,
+            read_keys=rkeys, write_keys=wkeys,
+            spec=spec, pre_read=pre_read, reply_to=self.node.node_id,
+        )
+        resp = yield self._send_request(remote_primary, req)
+        if not resp.ok:
+            self.runtime.pending.cancel(ack_key)
+            for k in locked:
+                index.unlock(k, txn.txn_id)
+            self._notify_host(txn, False, resp.reason or "multihop-remote-conflict")
+            return
+        txn.write_values = dict(resp.write_values)
+        acks = yield fut_acks
+        if not all(a.ok for a in acks):
+            # a backup failed the append: release and retry
+            for k in locked:
+                index.unlock(k, txn.txn_id)
+            self._send_oneway(remote_primary,
+                              Request(UNLOCK, txn.txn_id, remote,
+                                      txn.coord_node,
+                                      write_keys=rkeys + wkeys))
+            self._notify_host(txn, False, "multihop-log-failed")
+            return
+        self._notify_host(txn, True, None)
+        # commit the local shard writes, release local read locks
+        local_writes = {
+            k: v for k, v in txn.write_values.items()
+            if self.cluster.shard_of(k) == local
+        }
+        if local in by_shard:
+            if local_writes:
+                yield from self._commit_local(txn, local, local_writes)
+            for k in locked:
+                if k not in local_writes:
+                    index.unlock(k, txn.txn_id)
+        # commit the remote shard (unlocks its read locks too; versions are
+        # assigned by the primary from its own metadata)
+        remote_writes = {
+            k: v for k, v in txn.write_values.items()
+            if self.cluster.shard_of(k) == remote
+        }
+        req = Request(COMMIT, txn.txn_id, remote, txn.coord_node,
+                      write_values=remote_writes,
+                      value_bytes=txn.spec.write_bytes)
+        req.read_keys = [k for k in rkeys if k not in remote_writes]
+        yield self._send_request(remote_primary, req)
+
+    def _handle_exec_ship(self, req: Request):
+        """Remote-primary execution (P2 in Figure 7b).
+
+        Write keys are locked; read-only keys are fetched optimistically
+        and re-validated after the fetches complete (FaRM-style: lock,
+        read, validate, then log), so reads never block other readers."""
+        index = self.node.index_for(req.shard)
+        keys = list(dict.fromkeys(req.read_keys + req.write_keys))
+        yield from self.runtime.handle_message_cost(len(keys))
+        locked: List[int] = []
+        for k in req.write_keys:
+            if not index.try_lock(k, req.txn_id):
+                for kk in locked:
+                    index.unlock(kk, req.txn_id)
+                return Response(EXEC_SHIP, req.txn_id, req.shard, False,
+                                reason="ship-lock-conflict")
+            locked.append(k)
+        read_values: Dict[int, Tuple[object, int]] = {}
+        if req.read_keys:
+            fetched = yield self.sim.all_of([
+                self.sim.spawn(self._fetch_value(req.shard, k), name="fetch")
+                for k in req.read_keys
+            ])
+            for k, (value, version) in zip(req.read_keys, fetched):
+                read_values[k] = (value, version)
+            # inline validation of unlocked reads (no yields below until
+            # the LOGs are issued, so this is the serialization point)
+            for k, (_v, ver) in read_values.items():
+                if k in locked:
+                    continue
+                if index.is_locked(k, req.txn_id) or index.read_version(k) != ver:
+                    for kk in locked:
+                        index.unlock(kk, req.txn_id)
+                    return Response(EXEC_SHIP, req.txn_id, req.shard, False,
+                                    reason="ship-validate")
+        # merge coordinator-side pre-read values and run the logic here
+        spec: TxnSpec = req.spec
+        shadow = Transaction(req.txn_id, req.coord_node, spec)
+        shadow.read_values.update(req.pre_read)
+        shadow.read_values.update(read_values)
+        yield from self.node.nic.cores.run(spec.logic_cost_us)
+        write_values = shadow.run_logic()
+        self.stats.inc("shipped_executions")
+
+        # issue LOG records for every involved shard's writes, acks
+        # redirected to the coordinator NIC
+        writes_by_shard: Dict[int, Dict[int, object]] = {}
+        for k, v in write_values.items():
+            writes_by_shard.setdefault(self.cluster.shard_of(k), {})[k] = v
+        for shard, writes in writes_by_shard.items():
+            versions = {}
+            for k in writes:
+                if k in read_values:
+                    versions[k] = read_values[k][1]
+                elif k in req.pre_read:
+                    versions[k] = req.pre_read[k][1]
+                elif shard == req.shard:
+                    versions[k] = index.read_version(k)
+                else:
+                    versions[k] = 0
+            for backup in self.cluster.backups_of(shard):
+                log_req = Request(LOG, req.txn_id, shard, req.coord_node,
+                                  write_values=dict(writes),
+                                  versions=versions,
+                                  reply_to=req.reply_to,
+                                  value_bytes=spec.write_bytes)
+                if backup == self.node.node_id:
+                    self.sim.spawn(self._log_core_redirect(log_req),
+                                   name="mh-log-local")
+                else:
+                    self._send_oneway(backup, log_req)
+        return Response(EXEC_SHIP, req.txn_id, req.shard, True,
+                        read_values=read_values, write_values=write_values)
+
+    def _log_core_redirect(self, req: Request):
+        resp = yield from self._log_core(req)
+        self._deliver_log_ack(req.reply_to, req.txn_id, resp)
+
+    def _deliver_log_ack(self, target: int, txn_id: int, resp: Response) -> None:
+        if target == self.node.node_id:
+            self._resolve_mh_ack(txn_id, resp)
+        else:
+            msg = NetMessage(
+                self.node.node_id, target, "log_ack",
+                response_size(resp, self.cluster.value_size),
+                ("log_ack", txn_id, resp),
+            )
+            self.node.nic.send(msg)
+
+    def _resolve_mh_ack(self, txn_id: int, resp: Response) -> None:
+        # attempt number is unknown to the backup; resolve the only
+        # outstanding counter for this txn
+        for key in list(self.runtime.pending._counters):
+            if key[0] == "mh_log" and key[1] == txn_id:
+                self.runtime.pending.resolve_one(key, resp)
+                return
+        self.stats.inc("stray_log_acks")
+
+    # ------------------------------------------------------------------
+    # server-side request handlers
+    # ------------------------------------------------------------------
+
+    def _execute_core(self, shard: int, txn_id: int, read_keys, write_keys,
+                      validate_inline: bool = False):
+        """EXECUTE at the primary NIC: lock write keys, fetch read values
+        (NIC cache or DMA), return values + versions."""
+        index = self.node.index_for(shard)
+        n_keys = len(read_keys) + len(write_keys)
+        yield from self.runtime.nic_compute(
+            self.config.nic_per_key_us * max(1, n_keys)
+        )
+        locked: List[int] = []
+        for k in write_keys:
+            if not index.try_lock(k, txn_id):
+                for kk in locked:
+                    index.unlock(kk, txn_id)
+                self.stats.inc("lock_conflicts")
+                return Response(EXECUTE, txn_id, shard, False,
+                                reason="lock-conflict")
+            locked.append(k)
+        read_values: Dict[int, Tuple[object, int]] = {}
+        if read_keys:
+            fetched = yield self.sim.all_of([
+                self.sim.spawn(self._fetch_value(shard, k), name="fetch")
+                for k in read_keys
+            ])
+            for k, (value, version) in zip(read_keys, fetched):
+                read_values[k] = (value, version)
+        if validate_inline:
+            for k, (_v, ver) in read_values.items():
+                if k in locked:
+                    continue
+                if index.is_locked(k, txn_id) or index.read_version(k) != ver:
+                    for kk in locked:
+                        index.unlock(kk, txn_id)
+                    return Response(EXECUTE, txn_id, shard, False,
+                                    reason="inline-validate")
+        versions = {k: index.read_version(k) for k in write_keys}
+        return Response(EXECUTE, txn_id, shard, True,
+                        read_values=read_values, versions=versions)
+
+    def _fetch_value(self, shard: int, key: int):
+        """Fetch one object's (value, version) at this (primary) NIC:
+        cache hit from NIC DRAM, else DMA read(s) sized by the index hints.
+
+        The value and its version are read in the same synchronous step
+        *after* all waits complete, mirroring the NIC's atomic access to
+        its own DRAM — otherwise a commit applying during the wait could
+        pair a stale value with a fresh version."""
+        index = self.node.index_for(shard)
+        if index.cache_contains(key):
+            yield self.node.nic.nic_dram_access()
+            hit, value = index.cache_lookup(key)
+            if hit:
+                if value is TOMBSTONE:
+                    value = None
+                return value, index.read_version(key)
+        cost = index.miss_cost(key)
+        yield self.runtime.dma_read(cost.first_read_bytes)
+        if cost.second_read_bytes:
+            yield self.runtime.dma_read(cost.second_read_bytes)
+        if cost.extra_object_bytes:
+            yield self.runtime.dma_read(cost.extra_object_bytes)
+        # a commit may have landed while the DMA was in flight, in which
+        # case the fresh value is pinned in the cache — prefer it
+        hit, value = index.cache_lookup(key)
+        if not hit:
+            obj = self.node.tables[shard].get_object(key)
+            value = obj.value if obj is not None else None
+            index.install_cache(key, value)
+        if value is TOMBSTONE:
+            value = None
+        return value, index.read_version(key)
+
+    def _validate_core(self, shard: int, txn_id: int,
+                       versions: Dict[int, int]):
+        index = self.node.index_for(shard)
+        yield from self.runtime.nic_compute(
+            self.config.nic_per_key_us * max(1, len(versions))
+        )
+        for k, ver in versions.items():
+            if index.is_locked(k, txn_id) or index.read_version(k) != ver:
+                self.stats.inc("validate_conflicts")
+                return Response(VALIDATE, txn_id, shard, False,
+                                reason="version-changed")
+        return Response(VALIDATE, txn_id, shard, True)
+
+    def _log_core(self, req: Request):
+        """LOG at a backup: durably append the record via DMA write."""
+        writes = [
+            (k, v, req.versions.get(k, 0) + 1) for k, v in req.write_values.items()
+        ]
+        record = LogRecord(req.txn_id, "log", req.shard, writes)
+        while self.node.log.full:
+            self.stats.inc("log_backpressure")
+            yield self.sim.timeout(LOG_RETRY_US)
+        vb = req.value_bytes if req.value_bytes is not None \
+            else self.cluster.value_size
+        nbytes = record_size_bytes(len(writes), vb)
+        # the DMA write IS the append: the record only becomes visible to
+        # the host workers once the bytes land in host memory
+        yield self.runtime.dma_log_append(nbytes)
+        self.node.append_log(record)
+        return Response(LOG, req.txn_id, req.shard, True)
+
+    def _commit_core(self, req: Request):
+        """COMMIT at the primary: append the commit record, refresh the
+        cache, bump versions, release locks (§4.2 step 6).
+
+        New versions are derived from the NIC's authoritative metadata
+        (current version + 1); the write locks held since EXECUTE guarantee
+        they match the versions the coordinator captured."""
+        index = self.node.index_for(req.shard)
+        writes = [
+            (k, v, index.read_version(k) + 1)
+            for k, v in req.write_values.items()
+        ]
+        record = LogRecord(req.txn_id, "commit", req.shard, writes)
+        while self.node.log.full:
+            self.stats.inc("log_backpressure")
+            yield self.sim.timeout(LOG_RETRY_US)
+        vb = req.value_bytes if req.value_bytes is not None \
+            else self.cluster.value_size
+        nbytes = record_size_bytes(len(writes), vb)
+        yield self.runtime.dma_log_append(nbytes)
+        # apply to the NIC cache (pinning) before the host can see the
+        # record, so the unpin ack can never race ahead of the pin
+        for k, v, _ver in writes:
+            index.apply_commit(k, v)
+        self.node.append_log(record)
+        self.node.note_pending_commit(record)
+        for k in req.write_values:
+            index.unlock(k, req.txn_id)
+        # multi-hop: read keys locked during shipped execution release here
+        for k in req.read_keys:
+            meta = index._meta.get(k)
+            if meta is not None and meta.lock_owner == req.txn_id:
+                index.unlock(k, req.txn_id)
+        return Response(COMMIT, req.txn_id, req.shard, True)
+
+    def _unlock_core(self, req: Request):
+        index = self.node.index_for(req.shard)
+        yield from self.runtime.nic_compute(
+            self.config.nic_per_key_us * max(1, len(req.write_keys))
+        )
+        for k in req.write_keys:
+            meta = index._meta.get(k)
+            if meta is not None and meta.lock_owner == req.txn_id:
+                index.unlock(k, req.txn_id)
+        return Response(UNLOCK, req.txn_id, req.shard, True)
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+
+    def _send_request(self, dst: int, req: Request):
+        """Send a request; returns an event resolving to its Response."""
+        self._req_seq += 1
+        rid = (self.node.node_id, self._req_seq)
+        fut = self.runtime.pending.expect(("resp", rid))
+        msg = NetMessage(
+            self.node.node_id, dst, req.kind,
+            request_size(req, self.cluster.value_size),
+            ("req", rid, req),
+        )
+        self.node.nic.send(msg)
+        self.stats.inc("requests_sent")
+        return fut
+
+    def _send_oneway(self, dst: int, req: Request) -> None:
+        if dst == self.node.node_id:
+            self.sim.spawn(self._handle_oneway_local(req), name="oneway-local")
+            return
+        msg = NetMessage(
+            self.node.node_id, dst, req.kind,
+            request_size(req, self.cluster.value_size),
+            ("oneway", req),
+        )
+        self.node.nic.send(msg)
+
+    def _handle_oneway_local(self, req: Request):
+        yield from self._dispatch_oneway(req)
+
+    def _on_wire(self, msg: NetMessage) -> None:
+        tag = msg.payload[0]
+        if tag == "req":
+            _tag, rid, req = msg.payload
+            self.sim.spawn(self._serve(msg.src, rid, req), name="serve")
+        elif tag == "resp":
+            _tag, rid, resp = msg.payload
+            self.sim.spawn(self._receive_response(rid, resp), name="recv-resp")
+        elif tag == "oneway":
+            self.sim.spawn(self._dispatch_oneway(msg.payload[1]), name="oneway")
+        elif tag == "log_ack":
+            _tag, txn_id, resp = msg.payload
+            self.sim.spawn(self._receive_log_ack(txn_id, resp), name="recv-ack")
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("unknown wire tag %r" % (tag,))
+
+    def _serve(self, src: int, rid, req: Request):
+        handler = self._HANDLERS.get(req.kind)
+        if handler is None:  # pragma: no cover - defensive
+            raise RuntimeError("no handler for %r" % req.kind)
+        resp = yield from handler(self, req)
+        msg = NetMessage(
+            self.node.node_id, src, "resp",
+            response_size(resp, self.cluster.value_size),
+            ("resp", rid, resp),
+        )
+        self.node.nic.send(msg)
+
+    def _handle_execute_req(self, req: Request):
+        yield from self.runtime.handle_message_cost(0)
+        inline = bool(req.versions.pop("inline", None))
+        resp = yield from self._execute_core(
+            req.shard, req.txn_id, req.read_keys, req.write_keys, inline
+        )
+        return resp
+
+    def _handle_validate_req(self, req: Request):
+        yield from self.runtime.handle_message_cost(0)
+        resp = yield from self._validate_core(req.shard, req.txn_id,
+                                              req.versions)
+        return resp
+
+    def _handle_log_req(self, req: Request):
+        yield from self.runtime.handle_message_cost(len(req.write_values))
+        resp = yield from self._log_core(req)
+        return resp
+
+    def _handle_commit_req(self, req: Request):
+        yield from self.runtime.handle_message_cost(len(req.write_values))
+        resp = yield from self._commit_core(req)
+        return resp
+
+    def _handle_unlock_req(self, req: Request):
+        yield from self.runtime.handle_message_cost(0)
+        resp = yield from self._unlock_core(req)
+        return resp
+
+    _HANDLERS = {
+        EXECUTE: _handle_execute_req,
+        VALIDATE: _handle_validate_req,
+        LOG: _handle_log_req,
+        COMMIT: _handle_commit_req,
+        UNLOCK: _handle_unlock_req,
+        EXEC_SHIP: _handle_exec_ship,
+    }
+
+    def _dispatch_oneway(self, req: Request):
+        if req.kind == UNLOCK:
+            yield from self._handle_unlock_req(req)
+        elif req.kind == LOG:
+            yield from self.runtime.handle_message_cost(len(req.write_values))
+            resp = yield from self._log_core(req)
+            self._deliver_log_ack(req.reply_to, req.txn_id, resp)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("unexpected one-way %r" % req.kind)
+
+    def _receive_response(self, rid, resp: Response):
+        yield from self.runtime.handle_message_cost(0)
+        if not self.runtime.pending.resolve(("resp", rid), resp):
+            self.stats.inc("stray_responses")
+
+    def _receive_log_ack(self, txn_id: int, resp: Response):
+        yield from self.runtime.handle_message_cost(0)
+        self._resolve_mh_ack(txn_id, resp)
+
+    # -- PCIe handlers ------------------------------------------------------------
+
+    def _on_pcie_nic(self, payload) -> None:
+        tag = payload[0]
+        if tag == "start":
+            self.sim.spawn(self._nic_coordinate(payload[1]), name="nic-coord")
+        elif tag == "local_commit":
+            self.sim.spawn(self._nic_local_commit(payload[1]), name="nic-local")
+        elif tag == "logic_resp":
+            _tag, txn_id, attempt, round_no, result = payload
+            self.runtime.pending.resolve(
+                ("logic", txn_id, attempt, round_no), result)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("unknown pcie->nic tag %r" % (tag,))
+
+    def _on_pcie_host(self, payload) -> None:
+        tag = payload[0]
+        if tag == "done":
+            _tag, txn_id, attempt, ok, reason = payload
+            if not self.host_pending.resolve(("done", txn_id, attempt),
+                                             (ok, reason)):
+                self.stats.inc("stray_done")
+        elif tag == "logic_req":
+            self.sim.spawn(self._host_run_logic(payload[1], payload[2]),
+                           name="host-logic")
+        else:  # pragma: no cover - defensive
+            raise RuntimeError("unknown pcie->host tag %r" % (tag,))
+
+    def _host_run_logic(self, txn: Transaction, round_no: int = 0):
+        yield from self.node.host_app_cores.run(txn.spec.logic_cost_us)
+        result = txn.run_logic()
+        if isinstance(result, NeedMoreKeys):
+            nbytes = 16 + 10 * (len(result.read_keys) + len(result.write_keys))
+        else:
+            nbytes = sum(10 + self._value_bytes(k) for k in result) + 16
+        self.node.pcie.host_to_nic(
+            nbytes, ("logic_resp", txn.txn_id, txn.attempts, round_no, result)
+        )
+
+    def _notify_host(self, txn: Transaction, ok: bool, reason: Optional[str]) -> None:
+        if not ok:
+            self.stats.inc("abort:%s" % reason)
+        self.node.pcie.nic_to_host(
+            DONE_MSG_BYTES, ("done", txn.txn_id, txn.attempts, ok, reason)
+        )
+
+    # -- helpers ------------------------------------------------------------
+
+    def _value_bytes(self, key: int) -> int:
+        return self.cluster.value_size

@@ -1,0 +1,172 @@
+"""Fault tolerance: leases, backup promotion, lock rebuild (§4.2.1).
+
+Xenic adopts FaRM's reconfiguration/recovery design.  The pieces modeled
+here:
+
+* a :class:`ClusterManager` (the ZooKeeper stand-in) holding per-node
+  leases; expiry triggers reconfiguration;
+* :class:`RecoveryManager.recover_shard` — when a primary fails, a
+  surviving backup is promoted.  Lock state lives only in (the failed)
+  SmartNIC memory, so it is *rebuilt*: each surviving replica scans its
+  log for transactions of the shard not yet acknowledged as committed,
+  their write-set keys are re-locked at the new primary, and each
+  recovering transaction is resolved — committed iff its LOG record
+  reached every surviving backup replica, else aborted — before the locks
+  are finally released and the shard serves again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.core import Simulator
+from ..store.log import LogRecord
+
+__all__ = ["Lease", "ClusterManager", "RecoveryManager", "RecoveryReport"]
+
+
+@dataclass
+class Lease:
+    node_id: int
+    expires_at: float
+
+
+class ClusterManager:
+    """Lease-based membership service (off the critical path)."""
+
+    def __init__(self, sim: Simulator, lease_us: float = 5000.0):
+        self.sim = sim
+        self.lease_us = lease_us
+        self._leases: Dict[int, Lease] = {}
+        self.config_epoch = 0
+        self.expired_log: List[Tuple[float, int]] = []
+
+    def register(self, node_id: int) -> Lease:
+        lease = Lease(node_id, self.sim.now + self.lease_us)
+        self._leases[node_id] = lease
+        return lease
+
+    def renew(self, node_id: int) -> None:
+        lease = self._leases.get(node_id)
+        if lease is None:
+            raise KeyError("node %d has no lease" % node_id)
+        lease.expires_at = self.sim.now + self.lease_us
+
+    def live_nodes(self) -> Set[int]:
+        return {
+            nid for nid, lease in self._leases.items()
+            if lease.expires_at > self.sim.now
+        }
+
+    def check_expiry(self) -> List[int]:
+        """Returns newly expired nodes and bumps the configuration epoch."""
+        expired = [
+            nid for nid, lease in self._leases.items()
+            if lease.expires_at <= self.sim.now
+        ]
+        for nid in expired:
+            del self._leases[nid]
+            self.expired_log.append((self.sim.now, nid))
+        if expired:
+            self.config_epoch += 1
+        return expired
+
+    def renewal_loop(self, node_id: int, interval_us: Optional[float] = None,
+                     alive=lambda: True):
+        """Process: periodically renew a node's lease while it is alive."""
+        interval = interval_us if interval_us is not None else self.lease_us / 3
+        while alive() and node_id in self._leases:
+            self.renew(node_id)
+            yield self.sim.timeout(interval)
+
+
+@dataclass
+class RecoveryReport:
+    shard: int
+    old_primary: int
+    new_primary: int
+    recovering_txns: List[int] = field(default_factory=list)
+    committed: List[int] = field(default_factory=list)
+    aborted: List[int] = field(default_factory=list)
+    locks_rebuilt: int = 0
+
+
+class RecoveryManager:
+    """Drives shard recovery on a :class:`XenicCluster`."""
+
+    def __init__(self, cluster, manager: Optional[ClusterManager] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.manager = manager or ClusterManager(cluster.sim)
+        for node in cluster.nodes:
+            self.manager.register(node.node_id)
+
+    def fail_node(self, node_id: int) -> None:
+        """Mark a node failed (its lease lapses immediately)."""
+        self.cluster.failed.add(node_id)
+        if node_id in self.manager._leases:
+            self.manager._leases[node_id].expires_at = self.sim.now
+        self.manager.check_expiry()
+
+    def recover_shard(self, shard: int) -> RecoveryReport:
+        """Promote a surviving backup to primary for ``shard`` and resolve
+        in-flight transactions from the surviving logs."""
+        cluster = self.cluster
+        old_primary = cluster.primary_node_id(shard)
+        if old_primary not in cluster.failed:
+            raise RuntimeError("primary of shard %d has not failed" % shard)
+        survivors = [
+            n for n in cluster.nodes[shard].backups_of(shard)
+            if n not in cluster.failed
+        ]
+        if not survivors:
+            raise RuntimeError("shard %d lost all replicas" % shard)
+        new_primary = survivors[0]
+        report = RecoveryReport(shard, old_primary, new_primary)
+
+        # 1. promote: build a fresh NIC index over the replica table
+        node = cluster.nodes[new_primary]
+        index = node.promote_to_primary(shard)
+        cluster.set_primary(shard, new_primary)
+
+        # 2. scan surviving logs for unacknowledged records of this shard
+        pending: Dict[int, Dict[int, LogRecord]] = {}  # txn -> node -> record
+        for nid in survivors:
+            for record in cluster.nodes[nid].log._records:
+                if record.shard == shard and record.kind == "log" and not record.acked:
+                    pending.setdefault(record.txn_id, {})[nid] = record
+        report.recovering_txns = sorted(pending)
+
+        # 3. re-acquire write locks for every recovering transaction
+        for txn_id, by_node in pending.items():
+            any_record = next(iter(by_node.values()))
+            for key, _value, _version in any_record.writes:
+                index.try_lock(key, txn_id)
+                report.locks_rebuilt += 1
+
+        # 4. resolve: commit iff the record reached every surviving backup
+        for txn_id in sorted(pending):
+            by_node = pending[txn_id]
+            if set(by_node) >= set(survivors):
+                record = by_node[new_primary]
+                for key, value, version in record.writes:
+                    obj = node.tables[shard].get_object(key)
+                    if obj is None:
+                        from ..store.object import VersionedObject
+
+                        obj = VersionedObject(key, value=value,
+                                              size=node.value_size)
+                        node.tables[shard].insert(key, obj)
+                    if version > obj.version:
+                        obj.value = value
+                        obj.version = version
+                report.committed.append(txn_id)
+            else:
+                report.aborted.append(txn_id)
+            any_record = next(iter(by_node.values()))
+            for key, _value, _version in any_record.writes:
+                meta = index._meta.get(key)
+                if meta is not None and meta.lock_owner == txn_id:
+                    index.unlock(key, txn_id)
+        return report

@@ -1,0 +1,185 @@
+"""Transaction state: read/write sets, OCC bookkeeping, function shipping.
+
+A transaction is specified by a :class:`TxnSpec` (what the workload wants)
+and carried through the commit protocol as a :class:`Transaction` (what
+the system tracks).  Transaction IDs pack (node, sequence) so any replica
+can identify the coordinator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "TxnStatus",
+    "TxnLogic",
+    "TxnSpec",
+    "Transaction",
+    "NeedMoreKeys",
+    "TOMBSTONE",
+    "make_txn_id",
+]
+
+
+class _Tombstone:
+    """Sentinel write value that deletes the key at commit time (§4.1.3:
+    deletions ride the transaction protocol like any other write)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<TOMBSTONE>"
+
+
+TOMBSTONE = _Tombstone()
+
+_NODE_BITS = 12
+
+
+def make_txn_id(node_id: int, seq: int) -> int:
+    """Pack (node, sequence) into a transaction id."""
+    return (seq << _NODE_BITS) | node_id
+
+
+def txn_node(txn_id: int) -> int:
+    return txn_id & ((1 << _NODE_BITS) - 1)
+
+
+class TxnStatus(enum.Enum):
+    PENDING = "pending"
+    EXECUTING = "executing"
+    VALIDATING = "validating"
+    LOGGING = "logging"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+# A transaction's execution logic: given the values read, produce the
+# write-set values.  ``state`` is the application's external state shipped
+# with the transaction (§4.2.2).  Multi-shot logic (§4.2 step 3) may
+# instead return :class:`NeedMoreKeys` to request further execution
+# rounds; it is re-invoked once the new keys have been read/locked.
+TxnLogic = Callable[[Dict[int, Any], Any], Dict[int, Any]]
+
+
+class NeedMoreKeys:
+    """Returned by multi-shot transaction logic to extend the read/write
+    sets; the coordinator issues additional EXECUTE requests and calls the
+    logic again with the merged read values (§4.2 step 3)."""
+
+    __slots__ = ("read_keys", "write_keys")
+
+    def __init__(self, read_keys=(), write_keys=()):
+        self.read_keys = list(read_keys)
+        self.write_keys = list(write_keys)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<NeedMoreKeys r=%r w=%r>" % (self.read_keys, self.write_keys)
+
+
+@dataclass
+class TxnSpec:
+    """What the workload asks for: keys, logic, and shipping hints."""
+
+    read_keys: List[int]
+    write_keys: List[int]
+    logic: Optional[TxnLogic] = None
+    external_state: Any = None
+    external_state_bytes: int = 0
+    # user annotation (§4.3.3): allow shipping execution to NIC cores
+    ship_execution: bool = True
+    # multi-shot transactions (logic may return NeedMoreKeys) cannot use
+    # the multi-hop remote-execution pattern (§4.2.3: single round only)
+    single_round: bool = True
+    # reference-Xeon µs of application compute in the logic function
+    logic_cost_us: float = 0.1
+    # bytes per written value on the wire / in log records (defaults to
+    # the workload's full object size; workloads that modify a few fields
+    # replicate deltas, e.g. TPC-C stock updates)
+    write_bytes: Optional[int] = None
+    # host-side compute before the transaction starts (e.g. B+ tree ops)
+    local_compute_us: float = 0.0
+    read_only: bool = False
+    label: str = "txn"
+    # host-side callback after commit (e.g. local B+ tree maintenance,
+    # already accounted in local_compute_us)
+    post_commit: Optional[Callable[[], None]] = None
+
+    def all_keys(self) -> List[int]:
+        seen = dict.fromkeys(self.read_keys)
+        for k in self.write_keys:
+            seen.setdefault(k)
+        return list(seen)
+
+
+@dataclass
+class Transaction:
+    """In-flight transaction state."""
+
+    txn_id: int
+    coord_node: int
+    spec: TxnSpec
+    status: TxnStatus = TxnStatus.PENDING
+    # key -> (value, version) captured during EXECUTE
+    read_values: Dict[int, Tuple[Any, int]] = field(default_factory=dict)
+    # key -> new value, produced by the logic function
+    write_values: Dict[int, Any] = field(default_factory=dict)
+    # shard -> keys locked there (for abort cleanup)
+    locked: Dict[int, List[int]] = field(default_factory=dict)
+    # keys added by multi-shot execution rounds (§4.2 step 3)
+    extra_read_keys: List[int] = field(default_factory=list)
+    extra_write_keys: List[int] = field(default_factory=list)
+    attempts: int = 1
+    started_at: float = 0.0
+    committed_at: float = 0.0
+    abort_reason: Optional[str] = None
+
+    @property
+    def read_only(self) -> bool:
+        return not self.spec.write_keys and not self.extra_write_keys
+
+    def effective_read_keys(self) -> List[int]:
+        return list(dict.fromkeys(self.spec.read_keys + self.extra_read_keys))
+
+    def effective_write_keys(self) -> List[int]:
+        return list(dict.fromkeys(self.spec.write_keys + self.extra_write_keys))
+
+    def add_keys(self, more: "NeedMoreKeys") -> None:
+        seen_r = set(self.spec.read_keys) | set(self.extra_read_keys)
+        seen_w = set(self.spec.write_keys) | set(self.extra_write_keys)
+        self.extra_read_keys.extend(
+            k for k in more.read_keys if k not in seen_r)
+        self.extra_write_keys.extend(
+            k for k in more.write_keys if k not in seen_w)
+
+    def record_lock(self, shard: int, key: int) -> None:
+        self.locked.setdefault(shard, []).append(key)
+
+    def clear_locks(self) -> None:
+        self.locked.clear()
+
+    def run_logic(self) -> Dict[int, Any]:
+        """Invoke the application logic over the captured read values."""
+        values = {k: v for k, (v, _ver) in self.read_values.items()}
+        if self.spec.logic is None:
+            # default logic: write a tagged tuple (deterministic, testable)
+            return {k: ("w", self.txn_id) for k in self.spec.write_keys}
+        return self.spec.logic(values, self.spec.external_state)
+
+    def reset_for_retry(self) -> None:
+        self.status = TxnStatus.PENDING
+        self.read_values.clear()
+        self.write_values.clear()
+        self.clear_locks()
+        self.extra_read_keys.clear()
+        self.extra_write_keys.clear()
+        self.attempts += 1
+        self.abort_reason = None

@@ -1,0 +1,58 @@
+"""Simulated hardware: CPUs, SmartNICs, RDMA NICs, DMA engines, network."""
+
+from .cpu import CoreGroup
+from .dma import DmaEngine, DmaOp
+from .ethernet import EthernetPort
+from .network import Fabric, NetMessage
+from .nic import OffPathNic, SmartNic
+from .params import (
+    BLUEFIELD_OFFPATH,
+    CX5_RDMA,
+    HOST,
+    LIQUIDIO3,
+    LIQUIDIO3_CPU,
+    STINGRAY_OFFPATH,
+    TESTBED,
+    XEON_GOLD_5218,
+    CpuParams,
+    DmaParams,
+    EthernetParams,
+    HardwareParams,
+    HostParams,
+    OffPathParams,
+    RdmaParams,
+    SmartNicParams,
+    testbed_params,
+)
+from .pcie import PcieChannel
+from .rdma import RdmaNic
+
+__all__ = [
+    "CoreGroup",
+    "DmaEngine",
+    "DmaOp",
+    "EthernetPort",
+    "Fabric",
+    "NetMessage",
+    "SmartNic",
+    "OffPathNic",
+    "PcieChannel",
+    "RdmaNic",
+    "CpuParams",
+    "DmaParams",
+    "EthernetParams",
+    "RdmaParams",
+    "SmartNicParams",
+    "HostParams",
+    "OffPathParams",
+    "HardwareParams",
+    "XEON_GOLD_5218",
+    "LIQUIDIO3_CPU",
+    "LIQUIDIO3",
+    "HOST",
+    "CX5_RDMA",
+    "BLUEFIELD_OFFPATH",
+    "STINGRAY_OFFPATH",
+    "TESTBED",
+    "testbed_params",
+]

@@ -1,0 +1,96 @@
+"""Core-group model: n identical cores executing work items with queueing.
+
+Compute costs throughout the reproduction are expressed in *reference
+microseconds* — the time the work takes on one host Xeon thread with all
+cores active.  A :class:`CoreGroup` built from NIC ARM parameters stretches
+those costs by the Coremark-derived speed ratio (Table 1), which is how the
+"wimpy cores" effect enters every experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import Event, Simulator
+from ..sim.resources import Resource
+from .params import CpuParams, XEON_GOLD_5218
+
+__all__ = ["CoreGroup"]
+
+
+class CoreGroup:
+    """A pool of cores with FIFO dispatch.
+
+    ``execute(ref_us)`` runs a job costing ``ref_us`` reference-Xeon
+    microseconds; the returned event fires when the job completes (queueing
+    + scaled service time).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: CpuParams,
+        cores: Optional[int] = None,
+        reference: CpuParams = XEON_GOLD_5218,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.params = params
+        self.cores = cores if cores is not None else params.cores
+        if self.cores < 1:
+            raise ValueError("need at least one core")
+        self.name = name or params.name
+        self.pool = Resource(sim, self.cores, name=self.name)
+        # scale factor: >1 means these cores are slower than the reference
+        self.slowdown = reference.coremark_per_thread / params.coremark_per_thread
+        self.jobs_executed = 0
+        self.busy_us = 0.0
+
+    def service_us(self, ref_us: float) -> float:
+        """Wall time on one of these cores for a reference-cost job."""
+        return ref_us * self.slowdown
+
+    def execute(self, ref_us: float) -> Event:
+        """Queue a job; event fires on completion."""
+        done = self.sim.event(name="%s.job" % self.name)
+        self.sim.spawn(self._run(ref_us, done), name="%s.exec" % self.name)
+        return done
+
+    def execute_wall(self, wall_us: float) -> Event:
+        """Queue a job whose cost is given in *these cores'* wall time
+        (e.g. NIC handler costs measured on the NIC itself, §3.3)."""
+        return self.execute(wall_us / self.slowdown)
+
+    def run_wall(self, wall_us: float):
+        """Generator form of :meth:`execute_wall`."""
+        return self.run(wall_us / self.slowdown)
+
+    def _run(self, ref_us: float, done: Event):
+        yield self.pool.acquire()
+        try:
+            service = self.service_us(ref_us)
+            self.jobs_executed += 1
+            self.busy_us += service
+            if service > 0:
+                yield self.sim.timeout(service)
+        finally:
+            self.pool.release()
+        done.succeed()
+
+    def run(self, ref_us: float):
+        """Generator form for use inside a process: ``yield from cores.run(w)``."""
+        yield self.pool.acquire()
+        try:
+            service = self.service_us(ref_us)
+            self.jobs_executed += 1
+            self.busy_us += service
+            if service > 0:
+                yield self.sim.timeout(service)
+        finally:
+            self.pool.release()
+
+    def utilization(self, since: float = 0.0) -> float:
+        return self.pool.utilization(since)
+
+    def reset_utilization(self) -> None:
+        self.pool.reset_utilization()

@@ -1,0 +1,213 @@
+"""Hardware parameters measured in the paper's §3 characterization.
+
+Every constant in this module is traceable to a specific measurement in the
+paper (section references inline).  These numbers parameterize the
+simulated devices; the transaction systems never embed latency constants
+directly — they always go through a :class:`HardwareParams` bundle, so the
+sensitivity of results to any one constant can be probed by overriding it.
+
+All times are microseconds, sizes bytes, rates Gbit/s unless noted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "CpuParams",
+    "DmaParams",
+    "EthernetParams",
+    "RdmaParams",
+    "SmartNicParams",
+    "HostParams",
+    "OffPathParams",
+    "HardwareParams",
+    "XEON_GOLD_5218",
+    "LIQUIDIO3_CPU",
+    "LIQUIDIO3_DMA",
+    "LIQUIDIO3_ETH",
+    "CX5_RDMA",
+    "LIQUIDIO3",
+    "HOST",
+    "BLUEFIELD_OFFPATH",
+    "STINGRAY_OFFPATH",
+    "TESTBED",
+    "testbed_params",
+]
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """A group of identical cores.
+
+    ``coremark_per_thread`` values come from Table 1 and normalize compute
+    costs across the host Xeon and NIC ARM cores: a task costing ``w`` µs
+    on the reference Xeon costs ``w / relative_speed`` on these cores.
+    """
+
+    name: str
+    cores: int
+    freq_ghz: float
+    coremark_per_thread: float  # all-cores-active per-thread score (Table 1)
+    coremark_single: float  # single-thread score (Table 1)
+
+    def relative_speed(self, reference: "CpuParams") -> float:
+        """Per-thread speed relative to ``reference`` with all cores active."""
+        return self.coremark_per_thread / reference.coremark_per_thread
+
+
+@dataclass(frozen=True)
+class DmaParams:
+    """LiquidIO PCIe DMA engine characteristics (§3.5, Figure 4)."""
+
+    queues: int = 8  # hardware request queues
+    max_vector: int = 15  # reads/writes per vectored submission
+    submission_us: float = 0.190  # per-submission cost, amortized by vectors
+    read_completion_us: float = 1.295  # typical completion latency, reads
+    write_completion_us: float = 0.570  # typical completion latency, writes
+    max_ops_per_us: float = 8.7  # hardware ceiling, Mops/s == ops/us
+    pcie_bandwidth_gbps: float = 63.0  # PCIe 3.0 x8 usable
+
+
+@dataclass(frozen=True)
+class EthernetParams:
+    """Wire model for a NIC port (or bonded ports)."""
+
+    bandwidth_gbps: float = 100.0  # 2 x 50GbE bonded (testbed, §5)
+    # Per-packet processing/framing overhead.  Calibrated against §3.4:
+    # unbatched remote writes measure 9.0-10.4 Mops/s regardless of target
+    # memory, i.e. the sender's per-packet path is the bottleneck at ~0.1us.
+    per_packet_overhead_us: float = 0.100
+    per_packet_header_bytes: int = 50  # Eth+IP+UDP headers per wire packet
+    propagation_us: float = 0.85  # one-way switch + wire latency
+    mtu_bytes: int = 9000  # jumbo frames; caps gather-list size
+
+
+@dataclass(frozen=True)
+class RdmaParams:
+    """Mellanox CX5 RDMA NIC model (§2.1, §3.2, §3.4).
+
+    RTTs are end-to-end medians from Figure 2(b) at 256 B; the ops/s
+    ceiling is the doorbell-batched small-write limit from §3.4.
+    """
+
+    read_rtt_us: float = 3.0  # one-sided READ roundtrip
+    write_rtt_us: float = 3.5  # one-sided WRITE roundtrip (§3.1 text)
+    atomic_rtt_us: float = 3.9  # one-sided CAS/FAA roundtrip
+    rpc_rtt_us: float = 5.6  # two-sided SEND/RECV RPC (DrTM+H framework)
+    max_ops_per_us: float = 15.0  # 13.5-15.0 Mops/s doorbell-batched (§3.4)
+    per_op_wire_bytes: int = 66  # RoCE per-op header overhead
+    bandwidth_gbps: float = 100.0
+    propagation_us: float = 0.85
+
+
+@dataclass(frozen=True)
+class SmartNicParams:
+    """Marvell LiquidIO 3 CN3380 on-path SmartNIC (§3, §5)."""
+
+    cpu: CpuParams = field(default_factory=lambda: LIQUIDIO3_CPU)
+    dma: DmaParams = field(default_factory=lambda: LIQUIDIO3_DMA)
+    eth: EthernetParams = field(default_factory=lambda: LIQUIDIO3_ETH)
+    dram_bytes: int = 16 << 30  # 16 GB on-board DDR4
+    # Per-message handling cost on a NIC core, from §3.3: 71.8 Mops/s
+    # over 16 threads -> 0.223 us per RPC per thread.
+    rpc_handle_us: float = 16.0 / 71.8
+    # NIC-local DRAM access adds negligible latency relative to PCIe.
+    local_dram_us: float = 0.10
+    # Host <-> NIC PCIe message hand-off (coordinator-side crossing):
+    # host DPDK submit + PCIe + NIC pickup.  Derived from Figure 2(a):
+    # ops initiated from the host cost ~2.5us more than from the NIC.
+    pcie_crossing_us: float = 1.25
+
+
+@dataclass(frozen=True)
+class HostParams:
+    """Host server (§5 testbed)."""
+
+    cpu: CpuParams = field(default_factory=lambda: XEON_GOLD_5218)
+    dram_bytes: int = 96 << 30
+    # Per-message handling cost of a host DPDK RPC thread, from §3.3:
+    # 23.0 Mops/s over 16 threads -> 0.696 us per RPC per thread.
+    rpc_handle_us: float = 16.0 / 23.0
+    # Extra latency of traversing the host network stack vs NIC handling
+    # (Figure 2: Host RPC sits well above NIC RPC).
+    rpc_stack_us: float = 1.5
+
+
+@dataclass(frozen=True)
+class OffPathParams:
+    """Off-path SmartNIC latency measurements (§3.1)."""
+
+    name: str = "bluefield"
+    remote_to_host_write_us: float = 3.5  # RDMA write to host memory
+    remote_to_soc_write_us: float = 4.5  # remote write to SoC memory
+    soc_to_host_write_us: float = 5.1  # local SoC write to host memory
+
+
+XEON_GOLD_5218 = CpuParams(
+    name="xeon-gold-5218",
+    cores=32,  # 16 cores, 32 hyperthreads
+    freq_ghz=2.3,
+    coremark_per_thread=14771.0,  # Table 1, multi
+    coremark_single=29193.0,  # Table 1, single
+)
+
+LIQUIDIO3_CPU = CpuParams(
+    name="liquidio3-arm",
+    cores=24,
+    freq_ghz=2.2,
+    coremark_per_thread=4530.0,  # Table 1, multi
+    coremark_single=14294.0,  # Table 1, single
+)
+
+LIQUIDIO3_DMA = DmaParams()
+LIQUIDIO3_ETH = EthernetParams()
+CX5_RDMA = RdmaParams()
+
+LIQUIDIO3 = SmartNicParams()
+HOST = HostParams()
+
+BLUEFIELD_OFFPATH = OffPathParams(
+    name="bluefield-1m322a",
+    remote_to_host_write_us=3.5,
+    remote_to_soc_write_us=4.5,
+    soc_to_host_write_us=5.1,
+)
+
+STINGRAY_OFFPATH = OffPathParams(
+    name="stingray-ps225",
+    remote_to_host_write_us=7.6,
+    remote_to_soc_write_us=8.5,  # figure quoted as "8.5us from the local SoC"
+    soc_to_host_write_us=8.5,
+)
+
+# Coremark-normalized NIC/host per-thread ratio used in Table 3 (§5.6).
+NIC_HOST_CORE_RATIO = LIQUIDIO3_CPU.coremark_per_thread / XEON_GOLD_5218.coremark_per_thread
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """The full per-server hardware bundle used to build simulated nodes."""
+
+    host: HostParams = field(default_factory=lambda: HOST)
+    nic: SmartNicParams = field(default_factory=lambda: LIQUIDIO3)
+    rdma: RdmaParams = field(default_factory=lambda: CX5_RDMA)
+
+    def with_network_gbps(self, gbps: float) -> "HardwareParams":
+        """Derive a bundle with a different wire bandwidth (e.g. the single
+        50 Gbps link used for the DrTM+R comparison in §5.3)."""
+        return replace(
+            self,
+            nic=replace(self.nic, eth=replace(self.nic.eth, bandwidth_gbps=gbps)),
+            rdma=replace(self.rdma, bandwidth_gbps=gbps),
+        )
+
+
+TESTBED = HardwareParams()
+
+
+def testbed_params(network_gbps: float = 100.0) -> HardwareParams:
+    """The §5 testbed bundle, optionally at a reduced link speed."""
+    if network_gbps == 100.0:
+        return TESTBED
+    return TESTBED.with_network_gbps(network_gbps)

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate (clock, processes, resources, RNG)."""
+
+from .core import AllOf, AnyOf, Event, Interrupt, Process, SimulationError, Simulator, Timeout
+from .link import BatchingLink, SerialLink
+from .resources import Resource, Semaphore, Store
+from .rng import HotspotGenerator, RngStream, ZipfGenerator
+from .stats import Counter, LatencyRecorder, OnlineStats, ThroughputMeter
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Resource",
+    "Semaphore",
+    "Store",
+    "SerialLink",
+    "BatchingLink",
+    "RngStream",
+    "ZipfGenerator",
+    "HotspotGenerator",
+    "OnlineStats",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "Counter",
+]

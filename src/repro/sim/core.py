@@ -1,0 +1,362 @@
+"""Discrete-event simulation core.
+
+A small, deterministic, generator-based discrete-event engine in the style
+of SimPy, specialized for this reproduction.  Simulated time is measured in
+**microseconds** (float).  Processes are Python generators that ``yield``
+awaitables: :class:`Timeout`, :class:`Event`, another :class:`Process`, or
+the :class:`AllOf` / :class:`AnyOf` combinators.
+
+Determinism: events scheduled for the same timestamp fire in FIFO order of
+scheduling (a monotonically increasing sequence number breaks ties), so a
+simulation driven by seeded RNG streams is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event starts *pending*; it may be *succeeded* with a value or
+    *failed* with an exception, exactly once.  Callbacks registered before
+    triggering run when the event fires; callbacks registered after it has
+    fired run immediately.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_ok", "_value", "_name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._ok: Optional[bool] = None
+        self._value: Any = None
+        self._name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        """True once the event has succeeded."""
+        return self._ok is True
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event %r has not been triggered" % (self._name,))
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self._ok is not None:
+            raise SimulationError("event %r already triggered" % (self._name,))
+        self._ok = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if self._ok is not None:
+            raise SimulationError("event %r already triggered" % (self._name,))
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self._dispatch()
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when this event fires (immediately if fired)."""
+        if self._ok is None:
+            assert self._callbacks is not None
+            self._callbacks.append(fn)
+        else:
+            fn(self)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
+        return "<Event %s %s>" % (self._name or hex(id(self)), state)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` microseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative timeout delay: %r" % (delay,))
+        super().__init__(sim, name="timeout")
+        self.delay = delay
+        sim._schedule_at(sim.now + delay, self, value)
+
+
+class AllOf(Event):
+    """Fires once every child event has succeeded; value is the list of
+    child values in the original order.  Fails fast on the first child
+    failure."""
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child event triggers; value is ``(index, value)``
+    of the winning child."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="any_of")
+        self._children = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._children):
+            ev.add_callback(lambda e, i=i: self._on_child(i, e))
+
+    def _on_child(self, index: int, ev: Event) -> None:
+        if self.triggered:
+            return
+        if ev.ok:
+            self.succeed((index, ev.value))
+        else:
+            self.fail(ev.value)
+
+
+class Process(Event):
+    """A running coroutine.  Also an event: it fires with the generator's
+    return value when the generator completes, or fails with its uncaught
+    exception."""
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Start on the next scheduler step so the spawner can keep a handle.
+        start = Event(sim, name="start")
+        start.add_callback(self._resume)
+        sim._schedule_at(sim.now, start, None)
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        ev = Event(self.sim, name="interrupt")
+        ev.add_callback(lambda _e: self._throw(Interrupt(cause)))
+        self.sim._schedule_at(self.sim.now, ev, None)
+
+    # -- internal ---------------------------------------------------------
+
+    def _resume(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if ev.ok:
+                target = self._gen.send(ev.value)
+            else:
+                target = self._gen.throw(ev.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            self.fail(exc)
+            return
+        self._wait_for(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as raised:  # noqa: BLE001
+            self.fail(raised)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    "process %r yielded a non-event: %r" % (self._name, target)
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_wait_done)
+
+    def _on_wait_done(self, ev: Event) -> None:
+        # Ignore stale wakeups from events we stopped waiting on
+        # (e.g. after an interrupt raced with the event trigger).
+        if self._waiting_on is not ev:
+            return
+        self._resume(ev)
+
+
+class Simulator:
+    """The event loop and simulated clock.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []  # heap of (time, seq, event, value)
+        self._seq = 0
+        self._processes_spawned = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule_at(self, when: float, event: Event, value: Any) -> None:
+        if when < self._now:
+            raise SimulationError(
+                "cannot schedule in the past (%.3f < %.3f)" % (when, self._now)
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, event, value))
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Register a generator as a concurrently running process."""
+        self._processes_spawned += 1
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one scheduled entry; returns False if the queue is empty."""
+        while self._queue:
+            when, _seq, event, value = heapq.heappop(self._queue)
+            self._now = when
+            if event.triggered:
+                # A Timeout that was abandoned (e.g. AnyOf loser) cannot be
+                # re-triggered; skip it.
+                continue
+            event.succeed(value)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains, or until simulated time ``until``.
+
+        Returns the simulated time at which execution stopped.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return self._now
+        if until < self._now:
+            raise SimulationError("until=%r is in the past" % (until,))
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self._now = max(self._now, until) if self._queue else max(self._now, until)
+        return self._now
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` triggers; returns its value.
+
+        Raises :class:`SimulationError` if the queue drains (or ``limit`` is
+        reached) without the event firing.
+        """
+        while not event.triggered:
+            if limit is not None and self._queue and self._queue[0][0] > limit:
+                raise SimulationError("time limit reached before event fired")
+            if not self.step():
+                raise SimulationError("simulation drained before event fired")
+        if not event.ok:
+            raise event.value
+        return event.value

@@ -1,0 +1,200 @@
+"""Shared-resource primitives for the simulation engine.
+
+These mirror the SimPy resource set but with an explicit request/release
+API that fits generator-based processes:
+
+* :class:`Resource` — ``capacity`` interchangeable slots, FIFO granting.
+* :class:`Semaphore` — counting semaphore (non-slot-tracking Resource).
+* :class:`Store` — a FIFO queue of items with blocking ``get``/``put``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Semaphore", "Store"]
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots granted in FIFO order.
+
+    Usage from a process::
+
+        yield res.acquire()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            res.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Time-weighted busy accounting for utilization reports.
+        self._busy_area = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_area += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def acquire(self) -> Event:
+        """Returns an event that fires when a slot is granted."""
+        ev = self.sim.event(name="%s.acquire" % self.name)
+        if self._in_use < self.capacity and not self._waiters:
+            self._account()
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release of idle resource %r" % self.name)
+        if self._waiters:
+            # Hand the slot directly to the next waiter; occupancy unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity busy over [since, now]."""
+        self._account()
+        span = self.sim.now - since
+        if span <= 0:
+            return 0.0
+        return self._busy_area / (span * self.capacity)
+
+    def reset_utilization(self) -> None:
+        self._account()
+        self._busy_area = 0.0
+        self._last_change = self.sim.now
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup."""
+
+    def __init__(self, sim: Simulator, initial: int = 0, name: str = ""):
+        if initial < 0:
+            raise ValueError("initial count must be >= 0")
+        self.sim = sim
+        self.name = name
+        self._count = initial
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def down(self) -> Event:
+        ev = self.sim.event(name="%s.down" % self.name)
+        if self._count > 0 and not self._waiters:
+            self._count -= 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def up(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self._waiters:
+                self._waiters.popleft().succeed()
+            else:
+                self._count += 1
+
+
+class Store:
+    """FIFO item queue with blocking get and optionally bounded put."""
+
+    def __init__(
+        self, sim: Simulator, capacity: Optional[int] = None, name: str = ""
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item) pairs
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Returns an event that fires when the item has been enqueued."""
+        ev = self.sim.event(name="%s.put" % self.name)
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Returns an event whose value is the dequeued item."""
+        ev = self.sim.event(name="%s.get" % self.name)
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self):
+        """Non-blocking get; returns (True, item) or (False, None)."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def drain(self) -> list:
+        """Remove and return all currently queued items (non-blocking)."""
+        items = list(self._items)
+        self._items.clear()
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            self._admit_putter()
+        return items
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed()

@@ -1,0 +1,213 @@
+"""Measurement helpers: online statistics, percentile recorders, meters."""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Dict, List, Optional
+
+__all__ = [
+    "OnlineStats",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "Counter",
+]
+
+
+class OnlineStats:
+    """Welford online mean/variance plus min/max."""
+
+    __slots__ = ("count", "_mean", "_m2", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "OnlineStats") -> None:
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean = (self._mean * self.count + other._mean * other.count) / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class LatencyRecorder:
+    """Collects latency samples and reports percentiles.
+
+    Stores all samples (benchmark runs here are bounded); sorting is
+    deferred to query time and cached.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self.stats = OnlineStats()
+
+    def record(self, latency_us: float) -> None:
+        self._samples.append(latency_us)
+        self._sorted = None
+        self.stats.add(latency_us)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.stats.mean
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(0, min(len(self._sorted) - 1, math.ceil(p / 100.0 * len(self._sorted)) - 1))
+        return self._sorted[rank]
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def clear(self) -> None:
+        self._samples.clear()
+        self._sorted = None
+        self.stats = OnlineStats()
+
+
+class ThroughputMeter:
+    """Counts completions between two timestamps to compute a rate."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.completed = 0
+        self._window_start: Optional[float] = None
+        self._window_count_base = 0
+        self._window_end: Optional[float] = None
+        self._window_count_end = 0
+
+    def record(self) -> None:
+        self.completed += 1
+
+    def start_window(self, now: float) -> None:
+        self._window_start = now
+        self._window_count_base = self.completed
+        self._window_end = None
+
+    def end_window(self, now: float) -> None:
+        if self._window_start is None:
+            raise RuntimeError("end_window without start_window")
+        self._window_end = now
+        self._window_count_end = self.completed
+
+    @property
+    def window_count(self) -> int:
+        if self._window_end is None:
+            raise RuntimeError("measurement window not closed")
+        return self._window_count_end - self._window_count_base
+
+    def rate_per_us(self) -> float:
+        """Completions per simulated microsecond over the closed window."""
+        if self._window_start is None or self._window_end is None:
+            raise RuntimeError("measurement window not closed")
+        span = self._window_end - self._window_start
+        if span <= 0:
+            return 0.0
+        return self.window_count / span
+
+    def rate_per_s(self) -> float:
+        """Completions per simulated second over the closed window."""
+        return self.rate_per_us() * 1e6
+
+
+class Counter:
+    """A named bag of integer counters."""
+
+    def __init__(self):
+        self._counts: Dict[str, int] = {}
+
+    def inc(self, key: str, n: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + n
+
+    def get(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+
+def percentile_of_sorted(sorted_values: List[float], p: float) -> float:
+    """Nearest-rank percentile over an already sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, math.ceil(p / 100.0 * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+class SlidingPercentile:
+    """Maintains a bounded, sorted sample set for cheap running medians."""
+
+    def __init__(self, limit: int = 4096):
+        self.limit = limit
+        self._values: List[float] = []
+
+    def add(self, x: float) -> None:
+        insort(self._values, x)
+        if len(self._values) > self.limit:
+            # Drop alternating extremes to keep the middle representative.
+            if len(self._values) % 2:
+                self._values.pop(0)
+            else:
+                self._values.pop()
+
+    def percentile(self, p: float) -> float:
+        return percentile_of_sorted(self._values, p)

@@ -1,0 +1,30 @@
+"""Data stores: Robinhood/Hopscotch/chained tables, NIC index, B+ tree, log."""
+
+from .btree import BPlusTree
+from .chained import ChainedLookup, ChainedTable
+from .hopscotch import HopscotchLookup, HopscotchTable
+from .log import HostLog, LogRecord, record_size_bytes
+from .nic_index import DmaLookupCost, NicIndex, TxnMeta
+from .object import LARGE_OBJECT_THRESHOLD, VersionedObject, mix64
+from .robinhood import DeleteResult, InsertResult, LookupResult, RobinhoodTable
+
+__all__ = [
+    "VersionedObject",
+    "mix64",
+    "LARGE_OBJECT_THRESHOLD",
+    "RobinhoodTable",
+    "InsertResult",
+    "LookupResult",
+    "DeleteResult",
+    "HopscotchTable",
+    "HopscotchLookup",
+    "ChainedTable",
+    "ChainedLookup",
+    "NicIndex",
+    "TxnMeta",
+    "DmaLookupCost",
+    "BPlusTree",
+    "HostLog",
+    "LogRecord",
+    "record_size_bytes",
+]

@@ -1,0 +1,151 @@
+"""FaRM's Hopscotch hash table (§2.2.2, Table 2 comparison).
+
+Every key lives within a fixed neighborhood of ``H`` slots starting at its
+home position (FaRM publishes H=8).  Insertion finds a free slot by linear
+probing and then "hops" it backwards into the neighborhood by displacing
+elements whose own neighborhoods still cover the free slot.  When no hop
+sequence exists, the key goes to the home bucket's overflow chain.
+
+A remote lookup reads the whole H-slot neighborhood in one roundtrip and
+pays a second roundtrip for overflow keys — the read-amplification /
+roundtrip trade-off Table 2 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .object import mix64
+
+__all__ = ["HopscotchTable", "HopscotchLookup"]
+
+
+@dataclass
+class HopscotchLookup:
+    found: bool
+    objects_read: int  # H for in-table, H + overflow scan otherwise
+    roundtrips: int
+    in_overflow: bool
+
+
+class HopscotchTable:
+    """Hopscotch hash table with per-home overflow chains."""
+
+    def __init__(self, capacity: int, neighborhood: int = 8, hash_salt: int = 0):
+        if neighborhood < 1:
+            raise ValueError("neighborhood must be >= 1")
+        if capacity < neighborhood:
+            raise ValueError("capacity must be >= neighborhood")
+        self.capacity = capacity
+        self.h = neighborhood
+        self.hash_salt = hash_salt
+        self._slots: List[Optional[int]] = [None] * capacity
+        self._overflow: Dict[int, List[int]] = {}
+        self.size = 0
+
+    def home(self, key: int) -> int:
+        return mix64(key ^ self.hash_salt) % self.capacity
+
+    @property
+    def occupancy(self) -> float:
+        in_table = self.size - self.overflow_count
+        return in_table / self.capacity
+
+    @property
+    def overflow_count(self) -> int:
+        return sum(len(v) for v in self._overflow.values())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, key: int) -> bool:
+        home = self.home(key)
+        for i in range(self.h):
+            if self._slots[(home + i) % self.capacity] == key:
+                return True
+        return key in self._overflow.get(home, ())
+
+    # -- insertion ------------------------------------------------------------
+
+    def insert(self, key: int) -> bool:
+        """Insert ``key``; returns True if it landed in the main table,
+        False if it overflowed.  Raises on duplicates."""
+        if key in self:
+            raise KeyError("duplicate key %d" % key)
+        home = self.home(key)
+        free = self._find_free(home)
+        if free is None:
+            return self._push_overflow(home, key)
+        # hop the free slot back until it falls inside the neighborhood
+        while self._dist(home, free) >= self.h:
+            moved = self._hop_closer(free)
+            if moved is None:
+                return self._push_overflow(home, key)
+            free = moved
+        self._slots[free] = key
+        self.size += 1
+        return True
+
+    def _push_overflow(self, home: int, key: int) -> bool:
+        self._overflow.setdefault(home, []).append(key)
+        self.size += 1
+        return False
+
+    def _dist(self, home: int, slot: int) -> int:
+        return (slot - home) % self.capacity
+
+    def _find_free(self, home: int, max_probe: int = 512) -> Optional[int]:
+        for i in range(min(max_probe, self.capacity)):
+            pos = (home + i) % self.capacity
+            if self._slots[pos] is None:
+                return pos
+        return None
+
+    def _hop_closer(self, free: int) -> Optional[int]:
+        """Move some earlier element into ``free`` so the free slot moves
+        at least one position towards the home; returns the new free slot."""
+        for back in range(self.h - 1, 0, -1):
+            cand = (free - back) % self.capacity
+            occupant = self._slots[cand]
+            if occupant is None:
+                continue
+            occ_home = self.home(occupant)
+            # occupant may move to `free` only if free stays within its
+            # own neighborhood
+            if self._dist(occ_home, free) < self.h:
+                self._slots[free] = occupant
+                self._slots[cand] = None
+                return cand
+        return None
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, key: int) -> HopscotchLookup:
+        """Remote-lookup cost model: one read of the H-slot neighborhood,
+        plus one overflow-chain roundtrip if needed."""
+        home = self.home(key)
+        for i in range(self.h):
+            if self._slots[(home + i) % self.capacity] == key:
+                return HopscotchLookup(True, self.h, 1, False)
+        chain = self._overflow.get(home, [])
+        if key in chain:
+            return HopscotchLookup(True, self.h + len(chain), 2, True)
+        return HopscotchLookup(False, self.h + len(chain), 2 if chain else 1, False)
+
+    def delete(self, key: int) -> None:
+        home = self.home(key)
+        for i in range(self.h):
+            pos = (home + i) % self.capacity
+            if self._slots[pos] == key:
+                self._slots[pos] = None
+                self.size -= 1
+                return
+        chain = self._overflow.get(home)
+        if chain and key in chain:
+            chain.remove(key)
+            if not chain:
+                del self._overflow[home]
+            self.size -= 1
+            return
+        raise KeyError("no such key %d" % key)

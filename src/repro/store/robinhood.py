@@ -1,0 +1,402 @@
+"""Xenic's host-side Robinhood hash table (§4.1.2).
+
+A closed (open-addressing) linear-probing table that balances probe
+distances by displacement stealing, with the Xenic modifications:
+
+* a global displacement limit ``Dm``; an insertion whose carried element
+  reaches ``Dm`` lands in the overflow bucket of its home segment;
+* fixed-size segments, each with an optional linked overflow bucket;
+* deletion by overflow-swap when possible, else bounded backward shift
+  (no tombstones);
+* DMA-consistent swapping: insertions compute a move chain and apply it
+  from the free end backwards, so a concurrent probe-scan reader never
+  misses an existing key (the copy-list construction of §4.1.2 — the
+  property test in ``tests/test_store_robinhood.py`` checks exactly this).
+
+The table tracks structural cost metrics (probe lengths, displacement per
+segment) that the SmartNIC index uses to size its DMA reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .object import VersionedObject, mix64
+
+__all__ = ["RobinhoodTable", "InsertResult", "LookupResult", "DeleteResult"]
+
+UNLIMITED = 1 << 30
+
+
+@dataclass
+class InsertResult:
+    ok: bool
+    swaps: int  # elements displaced along the way
+    used_overflow: bool
+    moves: List[Tuple[int, int]]  # (slot, key) writes in application order
+
+
+@dataclass
+class LookupResult:
+    found: bool
+    probe_len: int  # slots examined in the main table
+    in_overflow: bool
+    slot: Optional[int]  # main-table slot if found there
+    displacement: Optional[int]  # found key's displacement from home
+
+
+@dataclass
+class DeleteResult:
+    ok: bool
+    overflow_swap: bool
+    shift_len: int  # backward-shift distance (0 when overflow-swap used)
+
+
+class RobinhoodTable:
+    """Closed Robinhood hash table with displacement limit and segments."""
+
+    def __init__(
+        self,
+        capacity: int,
+        dm: int = 8,
+        segment_size: int = 8,
+        hash_salt: int = 0,
+    ):
+        if capacity < segment_size:
+            raise ValueError("capacity must be >= segment_size")
+        if capacity % segment_size != 0:
+            raise ValueError("capacity must be a multiple of segment_size")
+        if dm < 1:
+            raise ValueError("Dm must be >= 1 (use RobinhoodTable.unlimited)")
+        self.capacity = capacity
+        self.dm = dm
+        self.segment_size = segment_size
+        self.hash_salt = hash_salt
+        self.n_segments = capacity // segment_size
+        self._slots: List[Optional[int]] = [None] * capacity
+        self._objects: Dict[int, VersionedObject] = {}
+        # overflow buckets per segment: key lists (linked bucket model)
+        self._overflow: Dict[int, List[int]] = {}
+        # per-segment max displacement of keys whose *home* is in the
+        # segment; None marks dirty (recompute lazily)
+        self._seg_max_disp: List[Optional[int]] = [0] * self.n_segments
+        self.size = 0
+
+    @classmethod
+    def unlimited(cls, capacity: int, segment_size: int = 8) -> "RobinhoodTable":
+        """A table with no displacement limit (the 'no limit' row of
+        Table 2); overflow buckets are never used."""
+        table = cls(capacity, dm=1, segment_size=segment_size)
+        table.dm = UNLIMITED
+        return table
+
+    # -- hashing ------------------------------------------------------------
+
+    def home(self, key: int) -> int:
+        return mix64(key ^ self.hash_salt) % self.capacity
+
+    def segment_of_slot(self, slot: int) -> int:
+        return slot // self.segment_size
+
+    def segment_of_key(self, key: int) -> int:
+        return self.segment_of_slot(self.home(key))
+
+    def _disp(self, key: int, slot: int) -> int:
+        return (slot - self.home(key)) % self.capacity
+
+    # -- occupancy ------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> float:
+        """Main-table occupancy (overflow keys excluded)."""
+        in_table = self.size - sum(len(v) for v in self._overflow.values())
+        return in_table / self.capacity
+
+    @property
+    def overflow_count(self) -> int:
+        return sum(len(v) for v in self._overflow.values())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._objects
+
+    # -- objects ------------------------------------------------------------
+
+    def get_object(self, key: int) -> Optional[VersionedObject]:
+        return self._objects.get(key)
+
+    def objects(self) -> Iterator[VersionedObject]:
+        return iter(self._objects.values())
+
+    # -- insertion ------------------------------------------------------------
+
+    def insert(self, key: int, obj: Optional[VersionedObject] = None) -> InsertResult:
+        """Insert ``key``; returns the structural cost of the insertion.
+
+        Raises ``KeyError`` on duplicate insertion and ``RuntimeError``
+        when the table is full.
+        """
+        if key in self._objects:
+            raise KeyError("duplicate key %d" % key)
+        if obj is None:
+            obj = VersionedObject(key)
+        # Compute the displacement chain without mutating, then apply the
+        # moves from the free end backwards (DMA-consistent order).
+        cur_key = key
+        cur_disp = 0
+        pos = self.home(key)
+        chain: List[Tuple[int, int]] = []  # (slot, key placed there)
+        swaps = 0
+        scanned = 0
+        pending: Dict[int, int] = {}  # virtual writes along the chain
+        while True:
+            if scanned > self.capacity:
+                raise RuntimeError("robinhood table is full")
+            if cur_disp >= self.dm:
+                # the carried element hits the limit: it overflows to the
+                # bucket of its own home segment
+                self._overflow.setdefault(self.segment_of_key(cur_key), []).append(
+                    cur_key
+                )
+                self._mark_dirty_for_key(cur_key)
+                self._finalize_insert(key, obj, chain)
+                return InsertResult(True, swaps, True, list(reversed(chain)))
+            occupant = pending.get(pos, self._slots[pos])
+            if occupant is None:
+                chain.append((pos, cur_key))
+                break
+            occ_disp = self._disp(occupant, pos)
+            if occ_disp < cur_disp:
+                # steal the slot; carry the occupant forward
+                chain.append((pos, cur_key))
+                pending[pos] = cur_key
+                cur_key, cur_disp = occupant, occ_disp
+                swaps += 1
+            pos = (pos + 1) % self.capacity
+            cur_disp += 1
+            scanned += 1
+        self._finalize_insert(key, obj, chain)
+        return InsertResult(True, swaps, False, list(reversed(chain)))
+
+    def _finalize_insert(
+        self, key: int, obj: VersionedObject, chain: List[Tuple[int, int]]
+    ) -> None:
+        # Apply moves last-first: the element headed to the free slot is
+        # written first (duplicating it momentarily), so no key is ever
+        # absent from the table during the swap sequence.
+        for slot, k in reversed(chain):
+            self._slots[slot] = k
+            self._mark_dirty_for_key(k)
+        self._objects[key] = obj
+        self.size += 1
+
+    def insert_steps(self, key: int) -> Iterator[None]:
+        """Generator form of :meth:`insert` yielding after each atomic slot
+        write — used by the DMA-consistency property test to interleave a
+        concurrent reader between steps."""
+        if key in self._objects:
+            raise KeyError("duplicate key %d" % key)
+        obj = VersionedObject(key)
+        cur_key, cur_disp, pos = key, 0, self.home(key)
+        chain: List[Tuple[int, int]] = []
+        pending: Dict[int, int] = {}
+        scanned = 0
+        overflowed = False
+        while True:
+            if scanned > self.capacity:
+                raise RuntimeError("robinhood table is full")
+            if cur_disp >= self.dm:
+                self._overflow.setdefault(self.segment_of_key(cur_key), []).append(
+                    cur_key
+                )
+                self._mark_dirty_for_key(cur_key)
+                overflowed = True
+                break
+            occupant = pending.get(pos, self._slots[pos])
+            if occupant is None:
+                chain.append((pos, cur_key))
+                break
+            occ_disp = self._disp(occupant, pos)
+            if occ_disp < cur_disp:
+                chain.append((pos, cur_key))
+                pending[pos] = cur_key
+                cur_key, cur_disp = occupant, occ_disp
+            pos = (pos + 1) % self.capacity
+            cur_disp += 1
+            scanned += 1
+        self._objects[key] = obj
+        self.size += 1
+        if overflowed:
+            yield
+        for slot, k in reversed(chain):
+            self._slots[slot] = k
+            self._mark_dirty_for_key(k)
+            yield
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, key: int) -> LookupResult:
+        """Probe for ``key`` from its home slot; falls back to the home
+        segment's overflow bucket after ``Dm`` slots."""
+        home = self.home(key)
+        limit = min(self.dm, self.capacity)
+        for i in range(limit + 1):
+            pos = (home + i) % self.capacity
+            occupant = self._slots[pos]
+            if occupant == key:
+                return LookupResult(True, i + 1, False, pos, i)
+            if occupant is None:
+                # An empty slot ends probing (no tombstones by design).
+                return self._overflow_lookup(key, i + 1)
+        return self._overflow_lookup(key, limit + 1)
+
+    def _overflow_lookup(self, key: int, probed: int) -> LookupResult:
+        bucket = self._overflow.get(self.segment_of_key(key))
+        if bucket and key in bucket:
+            return LookupResult(True, probed, True, None, None)
+        return LookupResult(False, probed, False, None, None)
+
+    # -- deletion ------------------------------------------------------------
+
+    def delete(self, key: int) -> DeleteResult:
+        if key not in self._objects:
+            raise KeyError("no such key %d" % key)
+        seg = self.segment_of_key(key)
+        bucket = self._overflow.get(seg)
+        if bucket and key in bucket:
+            bucket.remove(key)
+            if not bucket:
+                del self._overflow[seg]
+            del self._objects[key]
+            self.size -= 1
+            return DeleteResult(True, False, 0)
+        res = self.lookup(key)
+        assert res.found and res.slot is not None
+        slot = res.slot
+        # Prefer swapping in an overflow element that may legally occupy
+        # this slot (its home precedes the slot within Dm).
+        swapped = self._try_overflow_swap(slot)
+        if swapped is not None:
+            del self._objects[key]
+            self.size -= 1
+            return DeleteResult(True, True, 0)
+        # Backward shift: pull successors with positive displacement back.
+        shift = 0
+        pos = slot
+        while True:
+            nxt = (pos + 1) % self.capacity
+            occupant = self._slots[nxt]
+            if occupant is None or self._disp(occupant, nxt) == 0:
+                self._slots[pos] = None
+                break
+            self._slots[pos] = occupant
+            self._mark_dirty_for_key(occupant)
+            pos = nxt
+            shift += 1
+        self._mark_dirty_for_key(key)
+        del self._objects[key]
+        self.size -= 1
+        return DeleteResult(True, False, shift)
+
+    def _try_overflow_swap(self, slot: int) -> Optional[int]:
+        """Move an overflow element into ``slot`` if one can legally live
+        there; returns the moved key or None.
+
+        Only overflow buckets whose segments contain a home within
+        ``(slot - Dm, slot]`` can hold a candidate, so the scan is local.
+        """
+        span = min(self.dm, self.capacity)
+        lo_seg = self.segment_of_slot((slot - span) % self.capacity)
+        candidate_segs = set()
+        seg = lo_seg
+        while True:
+            candidate_segs.add(seg)
+            if seg == self.segment_of_slot(slot):
+                break
+            seg = (seg + 1) % self.n_segments
+        for seg in candidate_segs:
+            bucket = self._overflow.get(seg)
+            if not bucket:
+                continue
+            for k in bucket:
+                home = self.home(k)
+                disp = (slot - home) % self.capacity
+                if disp < self.dm and self._path_full(home, disp):
+                    bucket.remove(k)
+                    if not bucket:
+                        del self._overflow[seg]
+                    self._slots[slot] = k
+                    self._mark_dirty_for_key(k)
+                    return k
+        return None
+
+    def _path_full(self, home: int, disp: int) -> bool:
+        for i in range(disp):
+            if self._slots[(home + i) % self.capacity] is None:
+                return False
+        return True
+
+    # -- NIC index support ---------------------------------------------------
+
+    def _mark_dirty_for_key(self, key: int) -> None:
+        self._seg_max_disp[self.segment_of_key(key)] = None
+
+    def segment_max_displacement(self, seg: int) -> int:
+        """d_i: the max displacement among keys whose home lies in segment
+        ``seg`` (0 when the segment is empty).  Recomputed lazily."""
+        cached = self._seg_max_disp[seg]
+        if cached is not None:
+            return cached
+        lo = seg * self.segment_size
+        hi = lo + self.segment_size
+        best = 0
+        span = min(self.dm if self.dm != UNLIMITED else self.capacity, self.capacity)
+        for i in range(self.segment_size + span):
+            pos = (lo + i) % self.capacity
+            occupant = self._slots[pos]
+            if occupant is None:
+                continue
+            home = self.home(occupant)
+            if lo <= home < hi:
+                d = self._disp(occupant, pos)
+                if d > best:
+                    best = d
+        self._seg_max_disp[seg] = best
+        return best
+
+    def segment_has_overflow(self, seg: int) -> bool:
+        return seg in self._overflow
+
+    def overflow_bucket_len(self, seg: int) -> int:
+        return len(self._overflow.get(seg, ()))
+
+    # -- invariants (used by property tests) ---------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants; raises AssertionError on violation."""
+        seen = set()
+        for pos, key in enumerate(self._slots):
+            if key is None:
+                continue
+            assert key in self._objects, "slot key %d missing object" % key
+            assert key not in seen, "key %d duplicated in table" % key
+            seen.add(key)
+            d = self._disp(key, pos)
+            if self.dm != UNLIMITED:
+                assert d < self.dm or d == 0, (
+                    "key %d displacement %d exceeds Dm=%d" % (key, d, self.dm)
+                )
+            # no empty gap between home and the key (probe reachability)
+            assert self._path_full(self.home(key), d), (
+                "key %d unreachable: gap before slot %d" % (key, pos)
+            )
+        for seg, bucket in self._overflow.items():
+            for key in bucket:
+                assert key in self._objects
+                assert key not in seen, "key %d in table and overflow" % key
+                seen.add(key)
+                assert self.segment_of_key(key) == seg
+        assert len(seen) == self.size == len(self._objects)

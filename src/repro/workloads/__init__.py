@@ -1,0 +1,26 @@
+"""Benchmark workloads: TPC-C, Retwis, Smallbank (§5.2-§5.5)."""
+
+from .base import SHARD_STRIDE, SpecStream, Workload, make_key, shard_of_key
+from .retwis import Retwis
+from .smallbank import Smallbank
+from .tpcc import TpccFull, TpccNewOrder
+
+WORKLOADS = {
+    "tpcc_no": TpccNewOrder,
+    "tpcc": TpccFull,
+    "retwis": Retwis,
+    "smallbank": Smallbank,
+}
+
+__all__ = [
+    "Workload",
+    "SpecStream",
+    "make_key",
+    "shard_of_key",
+    "SHARD_STRIDE",
+    "TpccNewOrder",
+    "TpccFull",
+    "Retwis",
+    "Smallbank",
+    "WORKLOADS",
+]

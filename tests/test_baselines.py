@@ -1,0 +1,201 @@
+"""End-to-end tests for the four RDMA baseline systems."""
+
+import pytest
+
+from repro.baselines import SYSTEMS, BaselineCluster, DrTMH, DrTMH_NC, DrTMR, FaSST
+from repro.core import TxnSpec
+from repro.sim import Simulator
+
+
+def make_cluster(system, n_nodes=3, **kw):
+    sim = Simulator()
+    cluster = BaselineCluster(sim, n_nodes, SYSTEMS[system],
+                              keys_per_shard=256, value_size=64, **kw)
+    for k in range(n_nodes * 64):
+        cluster.load_key(k, value=("init", k))
+    cluster.start()
+    return sim, cluster
+
+
+def run_txn(sim, cluster, node_id, spec):
+    proc = sim.spawn(cluster.coordinators[node_id].run_transaction(spec))
+    return sim.run_until_event(proc, limit=1e7)
+
+
+ALL = sorted(SYSTEMS)
+
+
+@pytest.mark.parametrize("system", ALL)
+def test_remote_read_only(system):
+    sim, cluster = make_cluster(system)
+    k = 1  # shard 1
+    txn = run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[],
+                                           read_only=True))
+    assert txn.read_values[k][0] == ("init", k)
+
+
+@pytest.mark.parametrize("system", ALL)
+def test_remote_write_commits(system):
+    sim, cluster = make_cluster(system)
+    k = 1
+    txn = run_txn(sim, cluster, 0,
+                  TxnSpec(read_keys=[k], write_keys=[k],
+                          logic=lambda r, s: {k: "updated"}))
+    sim.run()
+    assert cluster.read_committed_value(k) == "updated"
+    obj = cluster.nodes[1].tables[1].get_object(k)
+    assert obj.version == 1
+    assert not obj.locked
+
+
+@pytest.mark.parametrize("system", ALL)
+def test_backups_receive_replicated_writes(system):
+    sim, cluster = make_cluster(system)
+    k = 1
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[k], write_keys=[k],
+                    logic=lambda r, s: {k: "replicated"}))
+    sim.run()
+    for backup in cluster.backups_of(1):
+        obj = cluster.nodes[backup].tables[1].get_object(k)
+        assert obj.value == "replicated"
+        assert obj.version == 1
+
+
+@pytest.mark.parametrize("system", ALL)
+def test_multi_shard_write(system):
+    sim, cluster = make_cluster(system)
+    k1, k2 = 1, 2
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[k1, k2], write_keys=[k1, k2],
+                    logic=lambda r, s: {k1: "a", k2: "b"}))
+    sim.run()
+    assert cluster.read_committed_value(k1) == "a"
+    assert cluster.read_committed_value(k2) == "b"
+
+
+@pytest.mark.parametrize("system", ALL)
+def test_local_transaction(system):
+    sim, cluster = make_cluster(system)
+    k = 0  # shard 0, local to coordinator 0
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[k], write_keys=[k],
+                    logic=lambda r, s: {k: "local"}))
+    sim.run()
+    assert cluster.read_committed_value(k) == "local"
+
+
+@pytest.mark.parametrize("system", ALL)
+def test_no_locks_leak(system):
+    sim, cluster = make_cluster(system)
+    for k in (0, 1, 2, 3, 4, 5):
+        run_txn(sim, cluster, (k + 1) % 3,
+                TxnSpec(read_keys=[k], write_keys=[k],
+                        logic=lambda r, s, k=k: {k: "v%d" % k}))
+    sim.run()
+    for node in cluster.nodes:
+        for table in node.tables.values():
+            for obj in table.objects():
+                assert not obj.locked, "leaked lock on %r" % obj
+
+
+@pytest.mark.parametrize("system", ALL)
+def test_concurrent_conflicting_writers_serialize(system):
+    sim, cluster = make_cluster(system)
+    k = 2
+    done = []
+
+    def writer(coord, tag):
+        txn = yield from coord.run_transaction(
+            TxnSpec(read_keys=[k], write_keys=[k],
+                    logic=lambda r, s: {k: tag})
+        )
+        done.append((tag, txn.attempts))
+
+    sim.spawn(writer(cluster.coordinators[0], "w0"))
+    sim.spawn(writer(cluster.coordinators[1], "w1"))
+    sim.run()
+    assert len(done) == 2
+    obj = cluster.nodes[2].tables[2].get_object(k)
+    assert obj.version == 2
+    assert obj.value in ("w0", "w1")
+
+
+def test_fasst_consumes_target_host_cpu():
+    sim, cluster = make_cluster("fasst")
+    k = 1
+    before = cluster.nodes[1].host_cores.jobs_executed
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[k], write_keys=[k],
+                    logic=lambda r, s: {k: "x"}))
+    sim.run()
+    assert cluster.nodes[1].host_cores.jobs_executed > before
+
+
+def test_drtmh_one_sided_reads_bypass_target_cpu():
+    sim, cluster = make_cluster("drtmh")
+    k = 1
+    before = cluster.nodes[1].host_cores.jobs_executed
+    run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[],
+                                     read_only=True))
+    assert cluster.nodes[1].host_cores.jobs_executed == before
+    assert cluster.nodes[0].rdma.ops["read"] >= 1
+
+
+def test_drtmh_nc_issues_more_reads_than_cached():
+    def count_reads(system):
+        sim, cluster = make_cluster(system)
+        # fill shard 1's table enough to create chains
+        extra = [3 * i + 1 for i in range(64, 320)]
+        for k in extra:
+            cluster.load_key(k, value="pad")
+        reads = 0
+        for k in extra[:24]:
+            run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[],
+                                             read_only=True))
+        return cluster.nodes[0].rdma.ops["read"]
+
+    assert count_reads("drtmh_nc") >= count_reads("drtmh")
+
+
+def test_drtmr_uses_atomics_and_no_validation():
+    sim, cluster = make_cluster("drtmr")
+    k = 1
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[k], write_keys=[k],
+                    logic=lambda r, s: {k: "locked-write"}))
+    sim.run()
+    assert cluster.nodes[0].rdma.ops["atomic"] >= 2  # lock + unlock
+    assert cluster.read_committed_value(k) == "locked-write"
+
+
+def test_drtmr_read_only_still_locks_and_unlocks():
+    sim, cluster = make_cluster("drtmr")
+    k = 1
+    txn = run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[],
+                                           read_only=True))
+    sim.run()
+    assert txn.read_values[k][0] == ("init", k)
+    obj = cluster.nodes[1].tables[1].get_object(k)
+    assert not obj.locked
+    assert cluster.nodes[0].rdma.ops["atomic"] >= 2
+
+
+def test_xenic_and_baselines_share_spec_interface():
+    """The same TxnSpec must run unchanged on Xenic and every baseline."""
+    from repro.core import XenicCluster, XenicConfig
+
+    spec_fn = lambda k: TxnSpec(read_keys=[k], write_keys=[k],
+                                logic=lambda r, s: {k: "same"})
+    sim = Simulator()
+    xcluster = XenicCluster(sim, 3, config=XenicConfig(), keys_per_shard=128)
+    for k in range(96):
+        xcluster.load_key(k, value=("init", k))
+    xcluster.start()
+    proc = sim.spawn(xcluster.protocols[0].run_transaction(spec_fn(1)))
+    sim.run_until_event(proc, limit=1e6)
+
+    sim2, bcluster = make_cluster("drtmh")
+    run_txn(sim2, bcluster, 0, spec_fn(1))
+    sim2.run()
+    assert bcluster.read_committed_value(1) == "same"

@@ -1,0 +1,110 @@
+"""Tests for the benchmark harness and the microbenchmark experiments."""
+
+import pytest
+
+from repro.bench import Bench, run_point, run_sweep
+from repro.bench.report import format_table
+from repro.bench.runner import RunResult
+from repro.workloads import Retwis, Smallbank, TpccNewOrder
+
+
+def small_smallbank(n=3):
+    return Smallbank(n, accounts_per_server=1500, hot_keys_fraction=0.25)
+
+
+def test_bench_builds_all_systems():
+    for system in ("xenic", "drtmh", "drtmh_nc", "fasst", "drtmr"):
+        bench = Bench(system, small_smallbank(), n_nodes=3)
+        assert len(bench.cluster.protocols) == 3
+
+
+def test_bench_rejects_unknown_system():
+    with pytest.raises(ValueError):
+        Bench("nope", small_smallbank(), n_nodes=3)
+
+
+def test_measure_produces_sane_result():
+    bench = Bench("xenic", small_smallbank(), n_nodes=3)
+    r = bench.measure(4, warmup_us=50, window_us=150)
+    assert isinstance(r, RunResult)
+    assert r.throughput_per_server > 0
+    assert r.median_latency_us > 0
+    assert r.p99_latency_us >= r.median_latency_us
+    assert r.commits > 0
+    assert "nic_core_util" in r.extra
+
+
+def test_sweep_requires_ascending_concurrency():
+    bench = Bench("xenic", small_smallbank(), n_nodes=3)
+    bench.measure(8, warmup_us=30, window_us=60)
+    with pytest.raises(ValueError):
+        bench.measure(4)
+
+
+def test_sweep_reuses_cluster_and_increases_load():
+    results = run_sweep("xenic", small_smallbank, [2, 8],
+                        n_nodes=3, warmup_us=50, window_us=150)
+    assert [r.concurrency for r in results] == [2, 8]
+    assert results[1].throughput_per_server > results[0].throughput_per_server
+
+
+def test_run_point_baseline():
+    r = run_point("fasst", small_smallbank(), concurrency=4, n_nodes=3,
+                  warmup_us=50, window_us=150)
+    assert r.system == "fasst" and r.throughput_per_server > 0
+    assert "host_util" in r.extra
+
+
+def test_tpcc_counted_label_filters_throughput():
+    from repro.workloads import TpccFull
+
+    wl = TpccFull(3, warehouses_per_server=4, stock_per_warehouse=200,
+                  customers_per_warehouse=20)
+    wl.counted_label = "new_order"
+    bench = Bench("xenic", wl, n_nodes=3)
+    r = bench.measure(8, warmup_us=80, window_us=250)
+    # counted new-orders are a strict subset of all commits
+    assert 0 < r.throughput_per_server
+    assert r.commits > r.throughput_per_server * r.window_us * 3 / 1e6 * 0.9
+
+
+def test_workload_thread_hints_applied():
+    wl = TpccNewOrder(3, warehouses_per_server=2, stock_per_warehouse=100,
+                      customers_per_warehouse=10)
+    bench = Bench("xenic", wl, n_nodes=3)
+    node = bench.cluster.nodes[0]
+    assert node.host_app_cores.cores == wl.xenic_app_threads
+    assert node.worker_cores.cores == wl.xenic_worker_threads
+    b2 = Bench("fasst", wl, n_nodes=3)
+    assert b2.cluster.nodes[0].host_cores.cores == wl.baseline_host_threads
+
+
+def test_xenic_prewarm_fills_cache():
+    bench = Bench("xenic", small_smallbank(), n_nodes=3)
+    node = bench.cluster.nodes[0]
+    assert node.index.cache_size == len(node.tables[0])
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [[1, 2.5], ["xyz", 10000.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert "10000" in lines[3]
+
+
+def test_retwis_runs_on_all_systems_quickly():
+    for system in ("xenic", "drtmr"):
+        bench = Bench(system, Retwis(3, keys_per_server=1500), n_nodes=3)
+        r = bench.measure(4, warmup_us=50, window_us=120)
+        assert r.commits > 0
+
+
+def test_bench_hardware_override_applies_to_both_system_kinds():
+    from repro.hw.params import testbed_params
+
+    hw = testbed_params(50.0)
+    b1 = Bench("xenic", small_smallbank(), n_nodes=3, hardware=hw)
+    assert b1.cluster.nodes[0].nic.port.params.bandwidth_gbps == 50.0
+    b2 = Bench("drtmh", small_smallbank(), n_nodes=3, hardware=hw)
+    assert b2.cluster.nodes[0].rdma.params.bandwidth_gbps == 50.0

@@ -1,0 +1,347 @@
+"""End-to-end tests of the Xenic commit protocol on a small cluster."""
+
+import pytest
+
+from repro.core import TxnSpec, XenicCluster, XenicConfig
+from repro.sim import Simulator
+
+
+def make_cluster(n_nodes=3, config=None, keys_per_node=64, value_size=64):
+    sim = Simulator()
+    cluster = XenicCluster(
+        sim, n_nodes, config=config or XenicConfig(),
+        keys_per_shard=keys_per_node * 2, value_size=value_size,
+    )
+    for k in range(n_nodes * keys_per_node):
+        cluster.load_key(k, value=("init", k))
+    cluster.start()
+    return sim, cluster
+
+
+def run_txn(sim, cluster, node_id, spec):
+    proto = cluster.protocols[node_id]
+    proc = sim.spawn(proto.run_transaction(spec), name="txn")
+    return sim.run_until_event(proc, limit=1e6)
+
+
+def key_on(cluster, node_id, i=0):
+    """i-th key whose primary shard is node_id."""
+    found = []
+    k = 0
+    while len(found) <= i:
+        if cluster.shard_of(k) == node_id:
+            found.append(k)
+        k += 1
+    return found[i]
+
+
+# ---------------------------------------------------------------------------
+# basic commit paths
+# ---------------------------------------------------------------------------
+
+
+def test_remote_read_only_txn_commits():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 1)
+    txn = run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[],
+                                           read_only=True))
+    assert txn.read_values[k][0] == ("init", k)
+    assert txn.committed_at > txn.started_at
+
+
+def test_remote_write_txn_commits_and_updates_value():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 1)
+    logic = lambda reads, state: {k: ("new", k)}
+    txn = run_txn(sim, cluster, 0,
+                  TxnSpec(read_keys=[k], write_keys=[k], logic=logic))
+    sim.run()
+    assert cluster.read_committed_value(k) == ("new", k)
+
+
+def test_local_read_only_txn_no_network():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 0)
+    node = cluster.nodes[0]
+    sent_before = node.nic.port.messages_sent
+    pcie_before = node.pcie.to_nic_count
+    txn = run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[],
+                                           read_only=True))
+    assert txn.read_values[k][0] == ("init", k)
+    assert node.pcie.to_nic_count == pcie_before  # §4.2.4: no PCIe
+    # replication traffic may exist from other txns; none here
+    assert node.nic.port.messages_sent == sent_before
+
+
+def test_local_write_txn_replicates_to_backups():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 0)
+    logic = lambda reads, state: {k: "local-write"}
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[k], write_keys=[k], logic=logic))
+    sim.run()
+    # backups hold the new value after workers apply the log
+    for backup in cluster.backups_of(0):
+        obj = cluster.nodes[backup].tables[0].get_object(k)
+        assert obj.value == "local-write"
+        assert obj.version == 1
+
+
+def test_write_applies_to_primary_host_table_via_worker():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 1)
+    logic = lambda reads, state: {k: "applied"}
+    run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[k], logic=logic))
+    sim.run()
+    obj = cluster.nodes[1].tables[1].get_object(k)
+    assert obj.value == "applied"
+    assert obj.version == 1
+
+
+def test_version_increments_across_repeated_writes():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 1)
+    for i in range(4):
+        logic = lambda reads, state, i=i: {k: ("v", i)}
+        run_txn(sim, cluster, 0,
+                TxnSpec(read_keys=[k], write_keys=[k], logic=logic))
+    sim.run()
+    assert cluster.nodes[1].index.read_version(k) == 4
+    obj = cluster.nodes[1].tables[1].get_object(k)
+    assert obj.version == 4 and obj.value == ("v", 3)
+
+
+def test_multi_shard_txn_commits_atomically():
+    sim, cluster = make_cluster()
+    k1, k2 = key_on(cluster, 1), key_on(cluster, 2)
+    logic = lambda reads, state: {k1: "a", k2: "b"}
+    txn = run_txn(sim, cluster, 0,
+                  TxnSpec(read_keys=[k1, k2], write_keys=[k1, k2], logic=logic))
+    sim.run()
+    assert cluster.read_committed_value(k1) == "a"
+    assert cluster.read_committed_value(k2) == "b"
+    assert txn.attempts == 1
+
+
+def test_blind_write_no_read():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 1)
+    logic = lambda reads, state: {k: "blind"}
+    run_txn(sim, cluster, 0, TxnSpec(read_keys=[], write_keys=[k], logic=logic))
+    sim.run()
+    assert cluster.read_committed_value(k) == "blind"
+
+
+def test_read_your_writes_across_txns():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 1)
+    logic = lambda reads, state: {k: "first"}
+    run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[k], logic=logic))
+    txn = run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[],
+                                           read_only=True))
+    assert txn.read_values[k][0] == "first"
+
+
+# ---------------------------------------------------------------------------
+# conflicts and aborts
+# ---------------------------------------------------------------------------
+
+
+def test_concurrent_writers_conflict_then_both_commit():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 2)
+    results = []
+
+    def writer(proto, tag):
+        logic = lambda reads, state: {k: tag}
+        txn = yield from proto.run_transaction(
+            TxnSpec(read_keys=[k], write_keys=[k], logic=logic)
+        )
+        results.append((tag, txn.attempts))
+
+    sim.spawn(writer(cluster.protocols[0], "w0"))
+    sim.spawn(writer(cluster.protocols[1], "w1"))
+    sim.run()
+    assert len(results) == 2
+    final = cluster.read_committed_value(k)
+    assert final in ("w0", "w1")
+    version = cluster.nodes[2].index.read_version(k)
+    assert version == 2  # both committed, serialized
+
+
+def test_lock_conflict_aborts_and_releases():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 1)
+    index = cluster.nodes[1].index
+    index.try_lock(k, txn_id=999999)  # simulate a stuck holder
+
+    def writer(proto):
+        logic = lambda reads, state: {k: "blocked"}
+        txn = yield from proto.run_transaction(
+            TxnSpec(read_keys=[k], write_keys=[k], logic=logic)
+        )
+        return txn
+
+    proc = sim.spawn(writer(cluster.protocols[0]))
+    # let it abort a few times, then release the lock
+    sim.run(until=200.0)
+    assert not proc.triggered
+    assert cluster.protocols[0].stats.get("aborts") > 0
+    index.unlock(k, 999999)
+    txn = sim.run_until_event(proc, limit=1e6)
+    assert txn.attempts > 1
+    sim.run()
+    assert cluster.read_committed_value(k) == "blocked"
+
+
+def test_validation_abort_on_version_change():
+    """A read-only multi-shard txn whose read key changes mid-flight
+    retries and eventually commits."""
+    sim, cluster = make_cluster()
+    k1, k2 = key_on(cluster, 1), key_on(cluster, 2)
+
+    outcome = {}
+
+    def reader(proto):
+        txn = yield from proto.run_transaction(
+            TxnSpec(read_keys=[k1, k2], write_keys=[], read_only=True)
+        )
+        outcome["reader"] = txn
+
+    def writer(proto):
+        yield proto.sim.timeout(1.0)
+        logic = lambda reads, state: {k1: "changed"}
+        yield from proto.run_transaction(
+            TxnSpec(read_keys=[k1], write_keys=[k1], logic=logic)
+        )
+
+    sim.spawn(reader(cluster.protocols[0]))
+    sim.spawn(writer(cluster.protocols[2]))
+    sim.run()
+    txn = outcome["reader"]
+    vals = {k: v for k, (v, _) in txn.read_values.items()}
+    # the reader saw a consistent snapshot: either pre- or post-write
+    assert vals[k1] in (("init", k1), "changed")
+
+
+# ---------------------------------------------------------------------------
+# feature flags
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("flags", [
+    dict(smart_remote_ops=False),
+    dict(ethernet_aggregation=False),
+    dict(async_dma=False),
+    dict(nic_execution=False),
+    dict(multihop_occ=False),
+    dict(smart_remote_ops=False, ethernet_aggregation=False,
+         async_dma=False, nic_execution=False, multihop_occ=False),
+])
+def test_all_feature_combinations_still_commit(flags):
+    config = XenicConfig().with_flags(**flags)
+    sim, cluster = make_cluster(config=config)
+    k1, k2 = key_on(cluster, 1), key_on(cluster, 0)
+    logic = lambda reads, state: {k1: "x", k2: "y"}
+    txn = run_txn(sim, cluster, 0,
+                  TxnSpec(read_keys=[k1, k2], write_keys=[k1, k2], logic=logic))
+    sim.run()
+    assert cluster.read_committed_value(k1) == "x"
+    assert cluster.read_committed_value(k2) == "y"
+
+
+def test_multihop_used_for_local_plus_one_remote():
+    sim, cluster = make_cluster()
+    k_local, k_remote = key_on(cluster, 0), key_on(cluster, 1)
+    logic = lambda reads, state: {k_local: "l", k_remote: "r"}
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[k_local, k_remote],
+                    write_keys=[k_local, k_remote], logic=logic))
+    sim.run()
+    assert cluster.protocols[0].stats.get("multihop") == 1
+    assert cluster.protocols[1].stats.get("shipped_executions") == 1
+    assert cluster.read_committed_value(k_local) == "l"
+    assert cluster.read_committed_value(k_remote) == "r"
+
+
+def test_multihop_disabled_uses_standard_path():
+    config = XenicConfig(multihop_occ=False)
+    sim, cluster = make_cluster(config=config)
+    k_local, k_remote = key_on(cluster, 0), key_on(cluster, 1)
+    logic = lambda reads, state: {k_local: "l", k_remote: "r"}
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[k_local, k_remote],
+                    write_keys=[k_local, k_remote], logic=logic))
+    sim.run()
+    assert cluster.protocols[0].stats.get("multihop") == 0
+
+
+def test_nic_execution_vs_host_execution_counts():
+    for nic_exec, field in ((True, "nic_executions"), (False, "host_executions")):
+        config = XenicConfig(nic_execution=nic_exec, multihop_occ=False)
+        sim, cluster = make_cluster(config=config)
+        k = key_on(cluster, 1, 1)
+        k2 = key_on(cluster, 2, 1)
+        logic = lambda reads, state: {k: 1, k2: 2}
+        run_txn(sim, cluster, 0,
+                TxnSpec(read_keys=[k, k2], write_keys=[k, k2], logic=logic))
+        sim.run()
+        assert cluster.protocols[0].stats.get(field) == 1
+
+
+def test_three_shard_txn_not_multihop():
+    sim, cluster = make_cluster()
+    ks = [key_on(cluster, i) for i in range(3)]
+    logic = lambda reads, state: {k: "v" for k in ks}
+    run_txn(sim, cluster, 0, TxnSpec(read_keys=ks, write_keys=ks, logic=logic))
+    sim.run()
+    assert cluster.protocols[0].stats.get("multihop") == 0
+    for k in ks:
+        assert cluster.read_committed_value(k) == "v"
+
+
+# ---------------------------------------------------------------------------
+# bookkeeping sanity
+# ---------------------------------------------------------------------------
+
+
+def test_no_stray_responses_or_pending_leaks():
+    sim, cluster = make_cluster()
+    keys = [key_on(cluster, i, j) for i in range(3) for j in range(2)]
+    for i, k in enumerate(keys):
+        logic = lambda reads, state, k=k: {k: "z"}
+        run_txn(sim, cluster, i % 3, TxnSpec(read_keys=[k], write_keys=[k],
+                                             logic=logic))
+    sim.run()
+    for proto in cluster.protocols:
+        assert proto.stats.get("stray_responses") == 0
+        assert proto.stats.get("stray_done") == 0
+        assert len(proto.runtime.pending) == 0
+        assert len(proto.host_pending) == 0
+
+
+def test_logs_fully_drain():
+    sim, cluster = make_cluster()
+    k = key_on(cluster, 1)
+    logic = lambda reads, state: {k: "drained"}
+    run_txn(sim, cluster, 0, TxnSpec(read_keys=[k], write_keys=[k], logic=logic))
+    sim.run()
+    for node in cluster.nodes:
+        assert node.log.in_log == 0
+        assert node.log.appended == node.log.acked
+
+
+def test_no_locks_leak_after_commits():
+    sim, cluster = make_cluster()
+    keys = [key_on(cluster, i, j) for i in range(3) for j in range(3)]
+    for i, k in enumerate(keys):
+        logic = lambda reads, state, k=k: {k: i}
+        run_txn(sim, cluster, (i + 1) % 3,
+                TxnSpec(read_keys=[k], write_keys=[k], logic=logic))
+    sim.run()
+    for node in cluster.nodes:
+        for idx in node.indexes.values():
+            for key, meta in idx._meta.items():
+                assert meta.lock_owner is None, (
+                    "lock leaked on key %d at node %d" % (key, node.node_id)
+                )

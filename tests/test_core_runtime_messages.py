@@ -1,0 +1,261 @@
+"""Tests for the NIC runtime (async DMA, coalescing, pending futures),
+message sizing, and configuration ladders."""
+
+import pytest
+
+from repro.core.config import (
+    XenicConfig,
+    ablation_ladder_latency,
+    ablation_ladder_throughput,
+)
+from repro.core.messages import (
+    EXECUTE,
+    LOG,
+    Request,
+    Response,
+    request_size,
+    response_size,
+)
+from repro.core.nic_runtime import NicRuntime, PendingTable
+from repro.core.txn import Transaction, TxnSpec, TxnStatus, make_txn_id
+from repro.core.txn import txn_node
+from repro.hw import Fabric, SmartNic
+from repro.sim import Simulator
+
+
+def make_runtime(**flags):
+    sim = Simulator()
+    fabric = Fabric(sim)
+    nic = SmartNic(sim, fabric, 0)
+    nic.set_handler(lambda m: None)
+    runtime = NicRuntime(sim, nic, XenicConfig(**flags))
+    return sim, nic, runtime
+
+
+# ---------------------------------------------------------------------------
+# PendingTable
+# ---------------------------------------------------------------------------
+
+
+def test_pending_expect_resolve():
+    sim = Simulator()
+    table = PendingTable(sim)
+    fut = table.expect("a")
+    assert not fut.triggered
+    assert table.resolve("a", 42)
+    assert fut.value == 42
+    assert not table.resolve("a", 1)  # already gone
+
+
+def test_pending_duplicate_key_rejected():
+    table = PendingTable(Simulator())
+    table.expect("x")
+    with pytest.raises(RuntimeError):
+        table.expect("x")
+
+
+def test_pending_count_future():
+    sim = Simulator()
+    table = PendingTable(sim)
+    fut = table.expect_count("acks", 3)
+    table.resolve_one("acks", "a")
+    table.resolve_one("acks", "b")
+    assert not fut.triggered
+    table.resolve_one("acks", "c")
+    assert fut.value == ["a", "b", "c"]
+
+
+def test_pending_count_zero_fires_immediately():
+    table = PendingTable(Simulator())
+    fut = table.expect_count("none", 0)
+    assert fut.triggered and fut.value == []
+
+
+def test_pending_cancel():
+    table = PendingTable(Simulator())
+    table.expect("gone")
+    assert table.cancel("gone")
+    assert not table.cancel("gone")
+    assert not table.resolve("gone")
+
+
+# ---------------------------------------------------------------------------
+# NicRuntime DMA paths
+# ---------------------------------------------------------------------------
+
+
+def test_async_dma_vectors_accumulate():
+    sim, nic, runtime = make_runtime(async_dma=True)
+
+    def proc():
+        evs = [runtime.dma_read(64) for _ in range(20)]
+        for ev in evs:
+            yield ev
+
+    sim.spawn(proc(), name="p")
+    sim.run()
+    assert runtime.dma_reads == 20
+    # 15-op vector + burst-flushed remainder: far fewer submissions
+    assert nic.dma.vectors_submitted <= 3
+    assert nic.dma.vector_sizes.max == 15
+
+
+def test_blocking_dma_one_submission_each():
+    sim, nic, runtime = make_runtime(async_dma=False)
+
+    def proc():
+        for _ in range(5):
+            yield runtime.dma_read(64)
+
+    sim.spawn(proc(), name="p")
+    sim.run()
+    assert nic.dma.vectors_submitted == 5
+    assert nic.dma.vector_sizes.max == 1
+
+
+def test_blocking_dma_occupies_a_core():
+    sim, nic, runtime = make_runtime(async_dma=False)
+
+    def proc():
+        yield runtime.dma_read(64)
+
+    sim.spawn(proc(), name="p")
+    sim.run()
+    assert nic.cores.busy_us > 0.5  # core spun for the DMA duration
+
+
+def test_log_append_coalesces_to_one_dma_op():
+    sim, nic, runtime = make_runtime(async_dma=True)
+
+    def proc():
+        evs = [runtime.dma_log_append(100) for _ in range(10)]
+        for ev in evs:
+            yield ev
+
+    sim.spawn(proc(), name="p")
+    sim.run()
+    assert runtime.log_appends == 10
+    assert runtime.log_flushes <= 2
+    # coalesced: the engine saw far fewer ops than appends
+    assert nic.dma.ops_submitted <= 2
+
+
+def test_log_append_flushes_at_size_threshold():
+    sim, nic, runtime = make_runtime(async_dma=True)
+
+    def proc():
+        evs = [runtime.dma_log_append(3000) for _ in range(6)]  # 18 KB
+        for ev in evs:
+            yield ev
+
+    sim.spawn(proc(), name="p")
+    sim.run()
+    assert runtime.log_flushes >= 2  # crossed the 8 KB threshold twice
+
+
+def test_log_append_blocking_mode_per_record():
+    sim, nic, runtime = make_runtime(async_dma=False)
+
+    def proc():
+        for _ in range(4):
+            yield runtime.dma_log_append(100)
+
+    sim.spawn(proc(), name="p")
+    sim.run()
+    assert nic.dma.ops_submitted == 4
+
+
+def test_handle_cost_scales_with_keys():
+    sim, nic, runtime = make_runtime()
+
+    def proc():
+        yield from runtime.handle_message_cost(0)
+        t0 = sim.now
+        yield from runtime.handle_message_cost(10)
+        return sim.now - t0
+
+    p = sim.spawn(proc(), name="p")
+    sim.run()
+    assert p.value > runtime.msg_handle_us
+
+
+def test_aggregation_lowers_message_handle_cost():
+    _, _, agg = make_runtime(ethernet_aggregation=True)
+    _, _, noagg = make_runtime(ethernet_aggregation=False)
+    assert agg.msg_handle_us < noagg.msg_handle_us
+
+
+# ---------------------------------------------------------------------------
+# messages
+# ---------------------------------------------------------------------------
+
+
+def test_request_size_counts_keys_and_values():
+    base = Request(EXECUTE, 1, 0, 0)
+    small = request_size(base, 64)
+    withkeys = request_size(
+        Request(EXECUTE, 1, 0, 0, read_keys=[1, 2], write_keys=[3]), 64
+    )
+    assert withkeys == small + 3 * 10
+    withvalues = request_size(
+        Request(LOG, 1, 0, 0, write_values={1: "a", 2: "b"}), 64
+    )
+    assert withvalues == small + 2 * (10 + 64)
+
+
+def test_response_size_counts_payloads():
+    empty = response_size(Response(EXECUTE, 1, 0, True), 64)
+    filled = response_size(
+        Response(EXECUTE, 1, 0, True, read_values={1: ("v", 0), 2: ("w", 1)}),
+        64,
+    )
+    assert filled == empty + 2 * (10 + 6 + 64)
+
+
+# ---------------------------------------------------------------------------
+# txn helpers and config
+# ---------------------------------------------------------------------------
+
+
+def test_txn_id_packs_node():
+    txn_id = make_txn_id(5, 1234)
+    assert txn_node(txn_id) == 5
+
+
+def test_txn_default_logic_and_retry_reset():
+    spec = TxnSpec(read_keys=[1], write_keys=[2])
+    txn = Transaction(make_txn_id(0, 1), 0, spec)
+    txn.read_values[1] = ("v", 3)
+    out = txn.run_logic()
+    assert set(out) == {2}
+    txn.record_lock(0, 2)
+    txn.reset_for_retry()
+    assert txn.attempts == 2
+    assert not txn.read_values and not txn.locked
+    assert txn.status is TxnStatus.PENDING
+
+
+def test_spec_all_keys_dedupes_in_order():
+    spec = TxnSpec(read_keys=[3, 1], write_keys=[1, 2])
+    assert spec.all_keys() == [3, 1, 2]
+
+
+def test_ablation_ladders_shape():
+    tladder = ablation_ladder_throughput()
+    assert [l for l, _ in tladder] == [
+        "Xenic baseline", "+Smart remote ops", "+Eth aggregation", "+Async DMA"
+    ]
+    assert not tladder[0][1].smart_remote_ops
+    assert tladder[-1][1].async_dma
+    # throughput ladder never enables the latency features
+    assert not tladder[-1][1].nic_execution
+
+    lladder = ablation_ladder_latency()
+    assert lladder[0][1].async_dma  # latency ladder keeps async DMA on
+    assert lladder[-1][1].multihop_occ
+
+
+def test_config_with_flags_immutable():
+    base = XenicConfig()
+    derived = base.with_flags(nic_execution=False)
+    assert base.nic_execution and not derived.nic_execution

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion without error.
+
+These are the repository's end-to-end acceptance tests: each example
+exercises the public API the way a downstream user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "recovery_drill.py",
+    "latency_breakdown.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_output_contents():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert "multi-hop txn committed" in proc.stdout
+    assert "replica divergence after drain: none" in proc.stdout
+
+
+def test_recovery_drill_output_contents():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "recovery_drill.py")],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert "promoted node 2" in proc.stdout
+    assert "post-recovery" in proc.stdout

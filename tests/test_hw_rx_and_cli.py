@@ -1,0 +1,104 @@
+"""Tests for packet-level RX delivery, the CLI, and misc coverage gaps."""
+
+import pytest
+
+from repro.hw import EthernetPort, Fabric, NetMessage
+from repro.sim import Simulator
+
+
+def test_fabric_rx_packet_without_port_falls_back():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    got = []
+    fabric.register(5, lambda m: got.append(m.kind))
+    fabric.rx_packet(5, [NetMessage(0, 5, "a", 10), NetMessage(0, 5, "b", 10)])
+    assert got == ["a", "b"]
+
+
+def test_port_rx_serializes_packets():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    times = []
+    p0 = EthernetPort(sim, fabric, 0, aggregation=False)
+    p1 = EthernetPort(sim, fabric, 1)
+    fabric.register(1, lambda m: times.append(sim.now))
+    fabric.register(0, lambda m: None)
+    for _ in range(3):
+        p0.send(NetMessage(0, 1, "m", 64))
+    sim.run()
+    assert len(times) == 3
+    assert p1.packets_received == 3
+    # per-packet RX overhead spaces deliveries by >= 0.1us
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(g >= 0.099 for g in gaps)
+
+
+def test_aggregated_packet_single_rx_overhead():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    times = []
+    p0 = EthernetPort(sim, fabric, 0, aggregation=True)
+    p1 = EthernetPort(sim, fabric, 1)
+    fabric.register(1, lambda m: times.append(sim.now))
+    fabric.register(0, lambda m: None)
+    for _ in range(10):
+        p0.send(NetMessage(0, 1, "m", 32))
+    sim.run()
+    assert len(times) == 10
+    # messages in the same gather-list arrive together
+    assert p1.packets_received < 10
+
+
+def test_cli_list_and_unknown():
+    from repro.__main__ import main
+
+    assert main(["list"]) == 0
+    assert main([]) == 0
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])
+
+
+def test_cli_tab1_runs():
+    from repro.__main__ import main
+
+    assert main(["tab1"]) == 0
+
+
+def test_cli_offpath_runs():
+    from repro.__main__ import main
+
+    assert main(["offpath"]) == 0
+
+
+def test_hardware_params_network_override():
+    from repro.hw.params import TESTBED, testbed_params
+
+    fifty = testbed_params(50.0)
+    assert fifty.nic.eth.bandwidth_gbps == 50.0
+    assert fifty.rdma.bandwidth_gbps == 50.0
+    assert testbed_params(100.0) is TESTBED
+
+
+def test_btree_op_cost_positive():
+    from repro.store import BPlusTree
+
+    t = BPlusTree()
+    assert t.op_cost_us() > 0
+
+
+def test_read_local_prefers_pending_commit():
+    from repro.core import XenicCluster, XenicConfig
+    from repro.store.log import LogRecord
+
+    sim = Simulator()
+    cluster = XenicCluster(sim, 3, config=XenicConfig(), keys_per_shard=128)
+    for k in range(96):
+        cluster.load_key(k, value="old")
+    node = cluster.nodes[0]
+    record = LogRecord(9, "commit", 0, [(0, "new", 1)])
+    node.note_pending_commit(record)
+    value, version = node.read_local(0)
+    assert value == "new" and version == 1
+    # other-shard records are ignored
+    node.note_pending_commit(LogRecord(10, "commit", 1, [(1, "x", 5)]))
+    assert 1 not in node.pending_local

@@ -1,0 +1,168 @@
+"""Cross-system integration invariants: serializability audits.
+
+These run the same transfer-style workload on Xenic and every baseline
+and audit global invariants that any serializable execution must keep:
+money conservation, version monotonicity, replica convergence, and
+lock hygiene.
+"""
+
+import pytest
+
+from repro.baselines import SYSTEMS, BaselineCluster
+from repro.core import TxnSpec, XenicCluster, XenicConfig
+from repro.sim import RngStream, Simulator
+
+N_NODES = 3
+KEYS = N_NODES * 40
+INITIAL = 1000
+
+
+def build(system):
+    sim = Simulator()
+    if system == "xenic":
+        cluster = XenicCluster(sim, N_NODES, config=XenicConfig(),
+                               keys_per_shard=128, value_size=16)
+    else:
+        cluster = BaselineCluster(sim, N_NODES, SYSTEMS[system],
+                                  keys_per_shard=128, value_size=16)
+    for k in range(KEYS):
+        cluster.load_key(k, value=INITIAL)
+    cluster.start()
+    return sim, cluster
+
+
+def transfer_spec(rng):
+    a = rng.randrange(KEYS)
+    b = rng.randrange(KEYS)
+    while b == a:
+        b = rng.randrange(KEYS)
+    amount = 1 + rng.randrange(20)
+
+    def logic(reads, state):
+        bal_a = reads[a]
+        if bal_a < amount:
+            return {a: bal_a, b: reads[b]}
+        return {a: bal_a - amount, b: reads[b] + amount}
+
+    return TxnSpec(read_keys=[a, b], write_keys=[a, b], logic=logic,
+                   label="transfer")
+
+
+def run_mix(sim, cluster, n_contexts=6, txns_per_context=25, seed=17):
+    completed = []
+
+    def context(node_id, ctx):
+        rng = RngStream(seed, "ctx/%d/%d" % (node_id, ctx))
+        proto = cluster.protocols[node_id]
+        for _ in range(txns_per_context):
+            txn = yield from proto.run_transaction(transfer_spec(rng))
+            completed.append(txn)
+
+    for node_id in range(N_NODES):
+        for ctx in range(n_contexts // N_NODES or 1):
+            sim.spawn(context(node_id, ctx), name="ctx")
+    sim.run()
+    return completed
+
+
+ALL_SYSTEMS = ["xenic"] + sorted(SYSTEMS)
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_money_conserved_under_concurrency(system):
+    sim, cluster = build(system)
+    completed = run_mix(sim, cluster)
+    assert len(completed) >= 25
+    total = sum(cluster.read_committed_value(k) for k in range(KEYS))
+    assert total == KEYS * INITIAL, (
+        "%s lost/created money: %d != %d" % (system, total, KEYS * INITIAL)
+    )
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_no_negative_balances(system):
+    sim, cluster = build(system)
+    run_mix(sim, cluster)
+    for k in range(KEYS):
+        assert cluster.read_committed_value(k) >= 0
+
+
+def test_xenic_replicas_converge_after_drain():
+    sim, cluster = build("xenic")
+    run_mix(sim, cluster)
+    assert cluster.replica_divergence() == {}
+
+
+def test_xenic_versions_match_write_counts():
+    sim, cluster = build("xenic")
+    k = 1  # shard 1
+    n_writes = 7
+    for i in range(n_writes):
+        proc = sim.spawn(cluster.protocols[0].run_transaction(
+            TxnSpec(read_keys=[k], write_keys=[k],
+                    logic=lambda r, s, i=i: {k: r[k] + 1})))
+        sim.run_until_event(proc, limit=1e7)
+    sim.run()
+    assert cluster.nodes[1].index.read_version(k) == n_writes
+    assert cluster.read_committed_value(k) == INITIAL + n_writes
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_no_lock_leaks_after_mix(system):
+    sim, cluster = build(system)
+    run_mix(sim, cluster)
+    if system == "xenic":
+        for node in cluster.nodes:
+            for idx in node.indexes.values():
+                for key, meta in idx._meta.items():
+                    assert meta.lock_owner is None
+    else:
+        for node in cluster.nodes:
+            for table in node.tables.values():
+                for obj in table.objects():
+                    assert not obj.locked
+
+
+def test_xenic_deterministic_replay():
+    """Two identical runs produce identical simulated outcomes."""
+    def run_once():
+        sim, cluster = build("xenic")
+        run_mix(sim, cluster, seed=99)
+        return (
+            sim.now,
+            [cluster.read_committed_value(k) for k in range(KEYS)],
+            sum(p.stats.get("commits") for p in cluster.protocols),
+        )
+
+    assert run_once() == run_once()
+
+
+def test_read_only_snapshot_consistency():
+    """A read-only transaction over two keys updated together must never
+    observe a half-applied transfer (sum changes)."""
+    sim, cluster = build("xenic")
+    a, b = 1, 2  # different shards
+    stop = [False]
+    violations = []
+
+    def writer():
+        proto = cluster.protocols[0]
+        for i in range(40):
+            spec = TxnSpec(read_keys=[a, b], write_keys=[a, b],
+                           logic=lambda r, s: {a: r[a] - 5, b: r[b] + 5})
+            yield from proto.run_transaction(spec)
+        stop[0] = True
+
+    def reader():
+        proto = cluster.protocols[2]
+        while not stop[0]:
+            spec = TxnSpec(read_keys=[a, b], write_keys=[], read_only=True)
+            txn = yield from proto.run_transaction(spec)
+            total = txn.read_values[a][0] + txn.read_values[b][0]
+            if total != 2 * INITIAL:
+                violations.append(total)
+
+    sim.spawn(writer(), name="w")
+    sim.spawn(reader(), name="r")
+    sim.run()
+    assert violations == [], "inconsistent snapshots: %r" % violations[:5]

@@ -1,0 +1,188 @@
+"""Tests for multi-shot transactions (§4.2 step 3): execution rounds that
+extend the read/write sets based on values already read."""
+
+import pytest
+
+from repro.core import TxnSpec, XenicCluster, XenicConfig
+from repro.core.txn import NeedMoreKeys
+from repro.sim import Simulator
+
+
+def make_cluster(n_nodes=3, config=None):
+    sim = Simulator()
+    cluster = XenicCluster(sim, n_nodes, config=config or XenicConfig(),
+                           keys_per_shard=256, value_size=64)
+    for k in range(n_nodes * 64):
+        cluster.load_key(k, value=("init", k))
+    cluster.start()
+    return sim, cluster
+
+
+def run_txn(sim, cluster, node_id, spec):
+    proc = sim.spawn(cluster.protocols[node_id].run_transaction(spec))
+    return sim.run_until_event(proc, limit=1e7)
+
+
+def pointer_chase_spec(first_key, second_key, label="chase"):
+    """Round 1 reads a 'pointer' key; round 2 follows it and writes."""
+
+    def logic(reads, state):
+        if second_key not in reads:
+            return NeedMoreKeys(read_keys=[second_key],
+                                write_keys=[second_key])
+        return {second_key: ("followed-from", first_key)}
+
+    return TxnSpec(read_keys=[first_key], write_keys=[], logic=logic,
+                   single_round=False, label=label)
+
+
+def test_multishot_pointer_chase_commits():
+    sim, cluster = make_cluster()
+    first, second = 1, 5  # shards 1 and 2
+    txn = run_txn(sim, cluster, 0, pointer_chase_spec(first, second))
+    sim.run()
+    assert cluster.read_committed_value(second) == ("followed-from", first)
+    assert cluster.protocols[0].stats.get("multi_shot_rounds") == 1
+    assert second in txn.read_values
+
+
+def test_multishot_never_uses_multihop():
+    sim, cluster = make_cluster()
+    txn = run_txn(sim, cluster, 0, pointer_chase_spec(1, 4))  # both shard 1
+    sim.run()
+    assert cluster.protocols[0].stats.get("multihop") == 0
+
+
+def test_multishot_local_keys_still_distributed_path():
+    """single_round=False forces the coordinator-NIC path even when the
+    initial keys are local, since later rounds may go remote."""
+    sim, cluster = make_cluster()
+    txn = run_txn(sim, cluster, 0, pointer_chase_spec(0, 4))
+    sim.run()
+    assert cluster.read_committed_value(4) == ("followed-from", 0)
+
+
+def test_multishot_three_rounds():
+    sim, cluster = make_cluster()
+    chain = [1, 2, 3]  # spread over all shards
+
+    def logic(reads, state):
+        # write-only keys appear with value None until explicitly read
+        for k in chain:
+            if reads.get(k) is None:
+                return NeedMoreKeys(read_keys=[k])
+        return {chain[-1]: ("end", sum(1 for k in chain
+                                       if reads.get(k) is not None))}
+
+    spec = TxnSpec(read_keys=[chain[0]], write_keys=[chain[-1]],
+                   logic=logic, single_round=False)
+    txn = run_txn(sim, cluster, 0, spec)
+    sim.run()
+    assert cluster.protocols[0].stats.get("multi_shot_rounds") == 2
+    assert cluster.read_committed_value(3) == ("end", 3)
+
+
+def test_multishot_host_execution_rounds():
+    """Each round pays a PCIe roundtrip when NIC execution is disabled."""
+    config = XenicConfig(nic_execution=False)
+    sim, cluster = make_cluster(config=config)
+    txn = run_txn(sim, cluster, 0, pointer_chase_spec(1, 5))
+    sim.run()
+    proto = cluster.protocols[0]
+    assert proto.stats.get("host_executions") == 2  # one per round
+    assert cluster.read_committed_value(5) == ("followed-from", 1)
+
+
+def test_multishot_added_write_lock_conflict_retries():
+    sim, cluster = make_cluster()
+    second = 5
+    idx = cluster.nodes[2].index
+    idx.try_lock(second, txn_id=31337)
+
+    def writer():
+        txn = yield from cluster.protocols[0].run_transaction(
+            pointer_chase_spec(1, second))
+        return txn
+
+    proc = sim.spawn(writer())
+    sim.run(until=100.0)
+    assert not proc.triggered
+    idx.unlock(second, 31337)
+    txn = sim.run_until_event(proc, limit=1e7)
+    assert txn.attempts > 1
+    sim.run()
+    assert cluster.read_committed_value(second) == ("followed-from", 1)
+
+
+def test_multishot_readonly_dependent_reads():
+    """A read-only dependent read (order-status style) commits without
+    any write traffic."""
+    sim, cluster = make_cluster()
+    first, second = 1, 2
+
+    def logic(reads, state):
+        if second not in reads:
+            return NeedMoreKeys(read_keys=[second])
+        return {}
+
+    spec = TxnSpec(read_keys=[first], write_keys=[], logic=logic,
+                   single_round=False, read_only=True)
+    txn = run_txn(sim, cluster, 0, spec)
+    assert txn.read_values[second][0] == ("init", second)
+    assert txn.read_only
+
+
+def test_multishot_validates_all_rounds_reads():
+    """Reads from earlier rounds are still validated at commit: mutate a
+    round-1 key after it was read, before commit -> retry."""
+    sim, cluster = make_cluster()
+    first, second = 1, 5
+    attempts = []
+
+    def slow_logic(reads, state):
+        if second not in reads:
+            return NeedMoreKeys(read_keys=[second], write_keys=[second])
+        return {second: "final"}
+
+    spec = TxnSpec(read_keys=[first], write_keys=[], logic=slow_logic,
+                   single_round=False)
+
+    def interferer():
+        # bump `first`'s version while the multi-shot txn is in flight
+        yield cluster.sim.timeout(3.0)
+        yield from cluster.protocols[1].run_transaction(
+            TxnSpec(read_keys=[first], write_keys=[first],
+                    logic=lambda r, s: {first: "interfered"}))
+
+    sim = cluster.sim
+    proc = sim.spawn(cluster.protocols[0].run_transaction(spec))
+    sim.spawn(interferer())
+    txn = sim.run_until_event(proc, limit=1e7)
+    sim.run()
+    # both txns committed; serializability preserved either way
+    assert cluster.read_committed_value(second) == "final"
+    assert cluster.read_committed_value(first) == "interfered"
+
+
+def test_reset_for_retry_clears_extras():
+    from repro.core.txn import Transaction, make_txn_id
+
+    spec = TxnSpec(read_keys=[1], write_keys=[], single_round=False)
+    txn = Transaction(make_txn_id(0, 1), 0, spec)
+    txn.add_keys(NeedMoreKeys(read_keys=[2], write_keys=[3]))
+    assert txn.effective_read_keys() == [1, 2]
+    assert txn.effective_write_keys() == [3]
+    assert not txn.read_only
+    txn.reset_for_retry()
+    assert txn.effective_read_keys() == [1]
+    assert txn.read_only
+
+
+def test_add_keys_dedupes():
+    from repro.core.txn import Transaction, make_txn_id
+
+    spec = TxnSpec(read_keys=[1], write_keys=[2], single_round=False)
+    txn = Transaction(make_txn_id(0, 1), 0, spec)
+    txn.add_keys(NeedMoreKeys(read_keys=[1, 4], write_keys=[2, 4]))
+    assert txn.effective_read_keys() == [1, 4]
+    assert txn.effective_write_keys() == [2, 4]

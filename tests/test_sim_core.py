@@ -1,0 +1,276 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        fired.append(sim.now)
+        yield sim.timeout(2.5)
+        fired.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert fired == [5.0, 7.5]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.ok and p.value == 42
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def waiter(sim, child):
+        with pytest.raises(ValueError):
+            yield child
+        return "handled"
+
+    child = sim.spawn(bad(sim))
+    w = sim.spawn(waiter(sim, child))
+    sim.run()
+    assert w.value == "handled"
+
+
+def test_event_succeed_once():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(7)
+    assert ev.value == 7
+    with pytest.raises(SimulationError):
+        ev.succeed(8)
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_fifo_ordering_same_timestamp():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        sim.spawn(proc(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+
+    def proc(sim, delay, val):
+        yield sim.timeout(delay)
+        return val
+
+    def main(sim):
+        ps = [sim.spawn(proc(sim, d, v)) for d, v in [(3, "x"), (1, "y"), (2, "z")]]
+        vals = yield sim.all_of(ps)
+        return vals
+
+    m = sim.spawn(main(sim))
+    sim.run()
+    assert m.value == ["x", "y", "z"]
+    assert sim.now == 3.0
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    ev = AllOf(sim, [])
+    assert ev.triggered and ev.value == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+
+    def main(sim):
+        t1 = sim.timeout(5.0, "slow")
+        t2 = sim.timeout(2.0, "fast")
+        idx, val = yield sim.any_of([t1, t2])
+        return idx, val
+
+    m = sim.spawn(main(sim))
+    sim.run()
+    assert m.value == (1, "fast")
+
+
+def test_any_of_requires_events():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        AnyOf(sim, [])
+
+
+def test_run_until_limit_pauses_at_time():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        done.append(True)
+
+    sim.spawn(proc(sim))
+    sim.run(until=5.0)
+    assert sim.now == 5.0 and not done
+    sim.run()
+    assert done
+
+
+def test_run_until_event():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(3.0)
+        return "v"
+
+    p = sim.spawn(proc(sim))
+    assert sim.run_until_event(p) == "v"
+
+
+def test_run_until_event_drained_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        sim.run_until_event(ev)
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    seen = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            seen.append(intr.cause)
+            yield sim.timeout(1.0)
+        return "recovered"
+
+    def attacker(sim, target):
+        yield sim.timeout(2.0)
+        target.interrupt("stop")
+
+    v = sim.spawn(victim(sim))
+    sim.spawn(attacker(sim, v))
+    sim.run()
+    assert seen == ["stop"]
+    assert v.value == "recovered"
+    # The process finished at t=3; the abandoned 100us timeout may still
+    # advance the clock when it expires, which is fine.
+
+
+def test_interrupt_finished_process_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.spawn(quick(sim))
+    sim.run()
+    p.interrupt("late")  # must not raise
+    sim.run()
+
+
+def test_stale_timeout_after_interrupt_ignored():
+    sim = Simulator()
+    wakeups = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(5.0)
+            wakeups.append("timeout")
+        except Interrupt:
+            wakeups.append("interrupt")
+        yield sim.timeout(10.0)
+        wakeups.append("second")
+
+    v = sim.spawn(victim(sim))
+
+    def attacker(sim):
+        yield sim.timeout(1.0)
+        v.interrupt()
+
+    sim.spawn(attacker(sim))
+    sim.run()
+    # The original 5.0 timeout must not resume the process a second time.
+    assert wakeups == ["interrupt", "second"]
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    p = sim.spawn(bad(sim))
+    sim.run()
+    assert not p.ok
+    assert isinstance(p.value, SimulationError)
+
+
+def test_cannot_schedule_in_past():
+    sim = Simulator()
+    sim.spawn((sim.timeout(5.0) for _ in range(1)))
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim._schedule_at(sim.now - 1.0, sim.event(), None)
+
+
+def test_nested_process_spawning():
+    sim = Simulator()
+    results = []
+
+    def child(sim, n):
+        yield sim.timeout(n)
+        return n * 2
+
+    def parent(sim):
+        val = yield sim.spawn(child(sim, 3))
+        results.append(val)
+        val = yield sim.spawn(child(sim, 4))
+        results.append(val)
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert results == [6, 8]
+    assert sim.now == 7.0

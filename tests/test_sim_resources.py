@@ -1,0 +1,181 @@
+"""Unit tests for Resource, Semaphore, and Store primitives."""
+
+import pytest
+
+from repro.sim import Resource, Semaphore, Simulator, Store
+from repro.sim.core import SimulationError
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    granted = []
+
+    def proc(sim, tag):
+        yield res.acquire()
+        granted.append((sim.now, tag))
+        yield sim.timeout(10.0)
+        res.release()
+
+    for tag in "abc":
+        sim.spawn(proc(sim, tag))
+    sim.run()
+    times = dict((tag, t) for t, tag in granted)
+    assert times["a"] == 0.0 and times["b"] == 0.0
+    assert times["c"] == 10.0
+
+
+def test_resource_fifo_order():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def proc(sim, tag):
+        yield res.acquire()
+        order.append(tag)
+        yield sim.timeout(1.0)
+        res.release()
+
+    for tag in "abcd":
+        sim.spawn(proc(sim, tag))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_resource_release_idle_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_utilization_tracks_busy_time():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+
+    def proc(sim):
+        yield res.acquire()
+        yield sim.timeout(10.0)
+        res.release()
+        yield sim.timeout(10.0)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    # one of two slots busy for 10 of 20 us -> 25%
+    assert res.utilization() == pytest.approx(0.25)
+
+
+def test_semaphore_blocks_until_up():
+    sim = Simulator()
+    sem = Semaphore(sim, initial=0)
+    seen = []
+
+    def consumer(sim):
+        yield sem.down()
+        seen.append(sim.now)
+
+    def producer(sim):
+        yield sim.timeout(4.0)
+        sem.up()
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_semaphore_up_n():
+    sim = Simulator()
+    sem = Semaphore(sim, initial=0)
+    sem.up(3)
+    assert sem.count == 3
+
+
+def test_store_put_get_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer(sim):
+        for i in range(3):
+            yield sim.timeout(1.0)
+            yield store.put(i)
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_bounded_put_blocks():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    events = []
+
+    def producer(sim):
+        yield store.put("a")
+        events.append(("put-a", sim.now))
+        yield store.put("b")
+        events.append(("put-b", sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(5.0)
+        item = yield store.get()
+        events.append(("got-" + item, sim.now))
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert ("put-a", 0.0) in events
+    assert ("put-b", 5.0) in events
+
+
+def test_store_try_get_and_try_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    ok, item = store.try_get()
+    assert not ok and item is None
+    assert store.try_put("x")
+    assert not store.try_put("y")
+    ok, item = store.try_get()
+    assert ok and item == "x"
+
+
+def test_store_drain_returns_all():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(5):
+        store.try_put(i)
+    assert store.drain() == [0, 1, 2, 3, 4]
+    assert len(store) == 0
+
+
+def test_store_drain_admits_blocked_putters():
+    sim = Simulator()
+    store = Store(sim, capacity=2)
+    put_done = []
+
+    def producer(sim):
+        for i in range(4):
+            yield store.put(i)
+            put_done.append(i)
+
+    sim.spawn(producer(sim))
+    sim.run()
+    assert put_done == [0, 1]
+    drained = store.drain()
+    assert drained == [0, 1]
+    sim.run()
+    assert put_done == [0, 1, 2, 3]
+    assert len(store) == 2

@@ -1,0 +1,147 @@
+"""Tests for the Hopscotch and chained hash tables (Table 2 comparators)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import ChainedTable, HopscotchTable
+
+
+# ---------------------------------------------------------------------------
+# Hopscotch
+# ---------------------------------------------------------------------------
+
+
+def test_hopscotch_insert_lookup():
+    t = HopscotchTable(64, neighborhood=8)
+    t.insert(10)
+    res = t.lookup(10)
+    assert res.found and res.roundtrips == 1
+    assert res.objects_read == 8  # always reads the full neighborhood
+
+
+def test_hopscotch_duplicate_rejected():
+    t = HopscotchTable(64)
+    t.insert(1)
+    with pytest.raises(KeyError):
+        t.insert(1)
+
+
+def test_hopscotch_missing_key():
+    t = HopscotchTable(64)
+    assert not t.lookup(5).found
+
+
+def test_hopscotch_keys_stay_in_neighborhood():
+    t = HopscotchTable(256, neighborhood=8, hash_salt=3)
+    n = int(256 * 0.9)
+    for k in range(n):
+        t.insert(k)
+    for k in range(n):
+        res = t.lookup(k)
+        assert res.found
+        if not res.in_overflow:
+            assert res.objects_read == 8 and res.roundtrips == 1
+
+
+def test_hopscotch_overflow_costs_second_roundtrip():
+    t = HopscotchTable(16, neighborhood=4, hash_salt=1)
+    overflowed = []
+    for k in range(15):
+        if not t.insert(k):
+            overflowed.append(k)
+    if overflowed:
+        res = t.lookup(overflowed[0])
+        assert res.found and res.in_overflow and res.roundtrips == 2
+
+
+def test_hopscotch_delete():
+    t = HopscotchTable(64)
+    for k in range(30):
+        t.insert(k)
+    t.delete(11)
+    assert not t.lookup(11).found
+    with pytest.raises(KeyError):
+        t.delete(11)
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=10**9), unique=True,
+                     min_size=1, max_size=100))
+def test_hopscotch_property_all_findable(keys):
+    t = HopscotchTable(160, neighborhood=8)
+    for k in keys:
+        t.insert(k)
+    for k in keys:
+        assert t.lookup(k).found
+    assert len(t) == len(keys)
+
+
+# ---------------------------------------------------------------------------
+# Chained
+# ---------------------------------------------------------------------------
+
+
+def test_chained_insert_lookup():
+    t = ChainedTable(8, bucket_size=4)
+    t.insert(1)
+    res = t.lookup(1)
+    assert res.found and res.roundtrips == 1 and res.objects_read == 4
+
+
+def test_chained_duplicate_rejected():
+    t = ChainedTable(8, bucket_size=4)
+    t.insert(2)
+    with pytest.raises(KeyError):
+        t.insert(2)
+
+
+def test_chained_chains_grow_under_load():
+    t = ChainedTable(4, bucket_size=2)
+    for k in range(16):
+        t.insert(k)
+    assert t.linked_buckets > 0
+    deep = [k for k in range(16) if t.lookup(k).roundtrips > 1]
+    assert deep  # some keys require chain traversal
+
+
+def test_chained_read_amplification_scales_with_bucket_size():
+    """Table 2: larger B reads proportionally more objects per lookup."""
+    results = {}
+    for b in (4, 8, 16):
+        n_keys = 1440
+        t = ChainedTable(n_keys // b * 10 // 9, bucket_size=b, hash_salt=5)
+        for k in range(n_keys):
+            t.insert(k)
+        total = sum(t.lookup(k).objects_read for k in range(n_keys))
+        results[b] = total / n_keys
+    assert results[4] < results[8] < results[16]
+    assert results[8] >= 8.0
+
+
+def test_chained_delete():
+    t = ChainedTable(4, bucket_size=2)
+    for k in range(10):
+        t.insert(k)
+    t.delete(3)
+    assert not t.lookup(3).found
+    with pytest.raises(KeyError):
+        t.delete(3)
+
+
+def test_chained_occupancy():
+    t = ChainedTable(10, bucket_size=4)
+    for k in range(20):
+        t.insert(k)
+    assert t.occupancy == pytest.approx(0.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=10**9), unique=True,
+                     min_size=1, max_size=120))
+def test_chained_property_all_findable(keys):
+    t = ChainedTable(16, bucket_size=4)
+    for k in keys:
+        t.insert(k)
+    for k in keys:
+        assert t.lookup(k).found

@@ -1,0 +1,81 @@
+"""Tests for the transaction tracer."""
+
+from repro.bench.trace import PhaseSample, Tracer, TxnTrace
+from repro.core import TxnSpec, XenicCluster, XenicConfig
+from repro.sim import Simulator
+
+
+def make_cluster():
+    sim = Simulator()
+    cluster = XenicCluster(sim, 3, config=XenicConfig(), keys_per_shard=128)
+    for k in range(96):
+        cluster.load_key(k, value=k)
+    cluster.start()
+    return sim, cluster
+
+
+def run_txn(sim, cluster, node_id, spec):
+    proc = sim.spawn(cluster.protocols[node_id].run_transaction(spec))
+    return sim.run_until_event(proc, limit=1e7)
+
+
+def test_tracer_records_phases_for_standard_path():
+    sim, cluster = make_cluster()
+    tracer = Tracer(cluster.protocols[0])
+    ks = [1, 2]  # two remote shards -> standard (non-multihop) path
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=ks, write_keys=ks,
+                    logic=lambda r, s: {k: "t" for k in ks}))
+    sim.run()
+    tracer.detach()
+    assert len(tracer.traces) == 1
+    trace = tracer.traces[0]
+    totals = trace.phase_totals()
+    assert "phase_execute" in totals
+    assert "phase_log" in totals
+    assert all(v >= 0 for v in totals.values())
+    assert trace.latency_us > 0
+
+
+def test_tracer_records_multihop():
+    sim, cluster = make_cluster()
+    tracer = Tracer(cluster.protocols[0])
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[1], write_keys=[1],
+                    logic=lambda r, s: {1: "m"}))
+    sim.run()
+    tracer.detach()
+    totals = tracer.traces[0].phase_totals()
+    assert "multihop" in totals
+
+
+def test_tracer_mean_breakdown_and_latency():
+    sim, cluster = make_cluster()
+    tracer = Tracer(cluster.protocols[0])
+    for k in (1, 2, 4):
+        run_txn(sim, cluster, 0,
+                TxnSpec(read_keys=[k], write_keys=[k],
+                        logic=lambda r, s, k=k: {k: "x"}))
+    sim.run()
+    tracer.detach()
+    assert len(tracer.traces) == 3
+    assert tracer.mean_latency_us() > 0
+    breakdown = tracer.mean_phase_breakdown()
+    assert breakdown
+
+
+def test_tracer_detach_restores_methods():
+    sim, cluster = make_cluster()
+    proto = cluster.protocols[0]
+    before = proto.run_transaction
+    tracer = Tracer(proto)
+    assert proto.run_transaction != before
+    tracer.detach()
+    assert proto.run_transaction == before  # bound method equality
+
+
+def test_phase_sample_duration():
+    s = PhaseSample("x", 1.0, 3.5)
+    assert s.duration_us == 2.5
+    t = TxnTrace(1, "t", 0.0, committed_at=10.0)
+    assert t.latency_us == 10.0
