@@ -10,6 +10,15 @@ Usage::
 
 Each command prints the same rows/series the paper reports; ``--full``
 switches from the quick CI scale to a larger (slower) configuration.
+
+Fault injection (``docs/FAULTS.md``)::
+
+    python -m repro chaos --faults "drop=0.02,dup=0.01" --seeds 20 --check
+    python -m repro fig8d --faults "delay=0.05:8" --fault-seed 7
+
+``chaos`` runs seeded randomized fault schedules against the invariant
+checker; ``--faults`` on any experiment runs that experiment under the
+given fault plan.
 """
 
 from __future__ import annotations
@@ -18,6 +27,7 @@ import argparse
 import sys
 
 from .bench import (
+    DEFAULT_CHAOS_FAULTS,
     cache_capacity_sweep,
     displacement_limit_sweep,
     figure2_latency,
@@ -31,6 +41,8 @@ from .bench import (
     figure9b_latency_ablation,
     offpath_comparison,
     offpath_platform_check,
+    run_chaos,
+    set_default_faults,
     table1_cores,
     table2_lookup,
     table3_thread_counts,
@@ -81,6 +93,14 @@ COMMANDS = {
 }
 
 
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault spec, e.g. 'drop=0.02,dup=0.01,delay=0.05:8' "
+                        "(see docs/FAULTS.md)")
+    p.add_argument("--fault-seed", type=int, default=1234,
+                   help="root seed of the fault-injection RNG streams")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -92,13 +112,51 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--full", action="store_true")
     all_parser.add_argument("--keys", type=int, default=20000)
+    _add_fault_args(all_parser)
     for name, (help_text, _fn) in COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--full", action="store_true",
                        help="larger, slower configuration")
         p.add_argument("--keys", type=int, default=20000,
                        help="keyspace size for table-structure experiments")
+        _add_fault_args(p)
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault schedules + invariant checks (docs/FAULTS.md)")
+    chaos.add_argument("--faults", default=DEFAULT_CHAOS_FAULTS,
+                       metavar="SPEC", help="fault spec to inject")
+    chaos.add_argument("--seeds", type=int, default=5,
+                       help="number of consecutive seeds to run")
+    chaos.add_argument("--seed", type=int, default=1,
+                       help="first seed")
+    chaos.add_argument("--txns", type=int, default=40,
+                       help="transactions per seed")
+    chaos.add_argument("--nodes", type=int, default=3,
+                       help="cluster size")
+    chaos.add_argument("--system", default="xenic",
+                       help="xenic | drtmh | drtmh_nc | fasst | drtmr")
+    chaos.add_argument("--check", action="store_true",
+                       help="exit nonzero on any invariant violation")
+    chaos.add_argument("--trace", action="store_true",
+                       help="print the full fault trace of each run")
     return parser
+
+
+def run_chaos_command(args) -> int:
+    failures = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        result = run_chaos(system=args.system, seed=seed,
+                           faults=args.faults, n_txns=args.txns,
+                           n_nodes=args.nodes)
+        print(result)
+        if args.trace and result.trace is not None and len(result.trace):
+            print(result.trace.format())
+        if not result.ok:
+            failures += 1
+    print("%d/%d seeds clean" % (args.seeds - failures, args.seeds))
+    if failures and args.check:
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -107,7 +165,13 @@ def main(argv=None) -> int:
         width = max(len(name) for name in COMMANDS)
         for name, (help_text, _fn) in COMMANDS.items():
             print("%-*s  %s" % (width, name, help_text))
+        print("%-*s  %s" % (width, "chaos",
+                            "randomized fault schedules + invariant checks"))
         return 0
+    if args.command == "chaos":
+        return run_chaos_command(args)
+    if getattr(args, "faults", None):
+        set_default_faults(args.faults, args.fault_seed)
     if args.command == "all":
         for name, (help_text, fn) in COMMANDS.items():
             print("\n### %s" % help_text)

@@ -20,8 +20,9 @@ from .experiments import (
     table2_lookup,
     table3_thread_counts,
 )
+from .chaos import DEFAULT_CHAOS_FAULTS, ChaosResult, run_chaos
 from .report import format_table, print_curves, print_table
-from .runner import Bench, RunResult, run_point, run_sweep
+from .runner import Bench, RunResult, run_point, run_sweep, set_default_faults
 from .trace import PhaseSample, Tracer, TxnTrace
 
 __all__ = [
@@ -51,4 +52,8 @@ __all__ = [
     "Tracer",
     "TxnTrace",
     "PhaseSample",
+    "ChaosResult",
+    "run_chaos",
+    "DEFAULT_CHAOS_FAULTS",
+    "set_default_faults",
 ]

@@ -22,10 +22,22 @@ from ..core import XenicCluster, XenicConfig
 from ..sim import LatencyRecorder, Simulator
 from ..workloads.base import Workload
 
-__all__ = ["RunResult", "Bench", "run_point", "run_sweep"]
+__all__ = ["RunResult", "Bench", "run_point", "run_sweep",
+           "set_default_faults"]
 
 XENIC = "xenic"
 ALL_SYSTEMS = (XENIC, "drtmh", "drtmh_nc", "fasst", "drtmr")
+
+# Process-wide fault-injection default, set from the CLI (--faults): every
+# Bench built afterwards runs its experiment under this plan.
+_DEFAULT_FAULTS: Optional[tuple] = None
+
+
+def set_default_faults(spec: Optional[str], seed: int = 1234) -> None:
+    """Install (or clear, with ``spec=None``) a fault spec applied to every
+    subsequently built :class:`Bench` — the ``--faults`` CLI hook."""
+    global _DEFAULT_FAULTS
+    _DEFAULT_FAULTS = None if spec is None else (spec, seed)
 
 
 @dataclass
@@ -110,6 +122,16 @@ class Bench:
             # systems have their hot sets resident in NIC DRAM)
             self.cluster.prewarm_nic_caches()
         self.cluster.start()
+        self.fault_plan = None
+        if _DEFAULT_FAULTS is not None:
+            from ..sim.faults import FaultPlan, FaultSpec
+            from ..sim.rng import RngStream
+
+            spec_text, fault_seed = _DEFAULT_FAULTS
+            spec = (spec_text if isinstance(spec_text, FaultSpec)
+                    else FaultSpec.parse(spec_text))
+            self.fault_plan = FaultPlan(
+                spec, RngStream(fault_seed, "faults")).install(self.cluster)
         self._contexts = 0
         self._recorder: Optional[LatencyRecorder] = None
         self._counting = False

@@ -107,6 +107,9 @@ class NicRuntime:
         self.dma_writes = 0
         self.log_appends = 0
         self.log_flushes = 0
+        # Optional fault injector (repro.sim.faults): transient NIC-core
+        # scheduling stalls inflate compute slices.
+        self.injector = None
         self.msg_handle_us = (
             MSG_HANDLE_WALL_US_AGGREGATED
             if config.ethernet_aggregation
@@ -119,10 +122,15 @@ class NicRuntime:
         """Generator: charge a NIC core for handling one inbound message
         plus per-key index work."""
         cost = self.msg_handle_us + extra_keys * self.config.nic_per_key_us
-        return self.nic.cores.run_wall(cost)
+        return self.nic.cores.run_wall(cost + self._stall_us())
 
     def nic_compute(self, wall_us: float):
-        return self.nic.cores.run_wall(wall_us)
+        return self.nic.cores.run_wall(wall_us + self._stall_us())
+
+    def _stall_us(self) -> float:
+        if self.injector is None:
+            return 0.0
+        return self.injector.nic_stall_us(self)
 
     # -- DMA ------------------------------------------------------------
 

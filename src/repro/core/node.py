@@ -231,11 +231,16 @@ class XenicNode:
                 "node %d has no replica of shard %d" % (self.node_id, record.shard)
             )
         for key, value, version in record.writes:
+            obj = table.get_object(key)
+            # Reordered log application (fault injection can deliver LOG
+            # records out of order): never roll a replica back — a record
+            # older than the applied version is a no-op.
+            if obj is not None and version < obj.version:
+                continue
             if value is TOMBSTONE:
-                if table.get_object(key) is not None:
+                if obj is not None:
                     table.delete(key)
                 continue
-            obj = table.get_object(key)
             if obj is None:
                 obj = VersionedObject(key, value=value, size=self.value_size)
                 obj.version = version

@@ -64,6 +64,13 @@ class XenicProtocol:
         self.host_pending = PendingTable(self.sim)
         self.stats = Counter()
         self._req_seq = 0
+        # Transport-level exactly-once delivery: outbound messages carry a
+        # per-sender wire sequence number; inbound duplicates (retransmit
+        # races under fault injection) are suppressed by (src, wire_id),
+        # the way an RC transport dedups PSNs.  A real NIC keeps a sliding
+        # window per peer; the simulation keeps the full set.
+        self._wire_seq = 0
+        self._seen_wire: set = set()
         node.nic.set_handler(self._on_wire)
         node.pcie.set_handlers(self._on_pcie_host, self._on_pcie_nic)
         node.protocol = self
@@ -497,7 +504,14 @@ class XenicProtocol:
     # -- abort cleanup ------------------------------------------------------------
 
     def _abort_cleanup(self, txn: Transaction):
-        """Release locks acquired at primaries during EXECUTE."""
+        """Release locks acquired at primaries during EXECUTE.
+
+        Remote releases are *awaited* requests, not fire-and-forget: a
+        delayed oneway UNLOCK could land after a later attempt of the same
+        transaction re-locked the key (same txn_id) and silently steal the
+        fresh lock.  Waiting for the ack orders the release before the
+        retry's next EXECUTE round."""
+        evs = []
         for shard, keys in list(txn.locked.items()):
             if not keys:
                 continue
@@ -511,10 +525,10 @@ class XenicProtocol:
             else:
                 req = Request(UNLOCK, txn.txn_id, shard, txn.coord_node,
                               write_keys=list(keys))
-                self._send_oneway(primary, req)
+                evs.append(self._send_request(primary, req))
+        if evs:
+            yield self.sim.all_of(evs)
         txn.clear_locks()
-        return
-        yield  # pragma: no cover - make this a generator
 
     # ------------------------------------------------------------------
     # multi-hop OCC (§4.2.3, Figure 7b)
@@ -593,10 +607,12 @@ class XenicProtocol:
             # a backup failed the append: release and retry
             for k in locked:
                 index.unlock(k, txn.txn_id)
-            self._send_oneway(remote_primary,
-                              Request(UNLOCK, txn.txn_id, remote,
-                                      txn.coord_node,
-                                      write_keys=rkeys + wkeys))
+            # awaited so a delayed release can't outlive this attempt and
+            # steal the lock from the retry (same txn_id re-locks)
+            yield self._send_request(remote_primary,
+                                     Request(UNLOCK, txn.txn_id, remote,
+                                             txn.coord_node,
+                                             write_keys=rkeys + wkeys))
             self._notify_host(txn, False, "multihop-log-failed")
             return
         self._notify_host(txn, True, None)
@@ -709,6 +725,7 @@ class XenicProtocol:
                 self.node.node_id, target, "log_ack",
                 response_size(resp, self.cluster.value_size),
                 ("log_ack", txn_id, resp),
+                wire_id=self._next_wire_id(),
             )
             self.node.nic.send(msg)
 
@@ -855,7 +872,13 @@ class XenicProtocol:
         self.node.append_log(record)
         self.node.note_pending_commit(record)
         for k in req.write_values:
-            index.unlock(k, req.txn_id)
+            meta = index._meta.get(k)
+            if meta is not None and meta.lock_owner == req.txn_id:
+                index.unlock(k, req.txn_id)
+            else:
+                # lock rebuilt/reassigned (e.g. recovery resolved this txn
+                # while the COMMIT was in flight) — nothing to release
+                self.stats.inc("commit_unlock_mismatch")
         # multi-hop: read keys locked during shipped execution release here
         for k in req.read_keys:
             meta = index._meta.get(k)
@@ -887,6 +910,7 @@ class XenicProtocol:
             self.node.node_id, dst, req.kind,
             request_size(req, self.cluster.value_size),
             ("req", rid, req),
+            wire_id=self._next_wire_id(),
         )
         self.node.nic.send(msg)
         self.stats.inc("requests_sent")
@@ -900,13 +924,24 @@ class XenicProtocol:
             self.node.node_id, dst, req.kind,
             request_size(req, self.cluster.value_size),
             ("oneway", req),
+            wire_id=self._next_wire_id(),
         )
         self.node.nic.send(msg)
 
     def _handle_oneway_local(self, req: Request):
         yield from self._dispatch_oneway(req)
 
+    def _next_wire_id(self) -> int:
+        self._wire_seq += 1
+        return self._wire_seq
+
     def _on_wire(self, msg: NetMessage) -> None:
+        if msg.wire_id is not None:
+            key = (msg.src, msg.wire_id)
+            if key in self._seen_wire:
+                self.stats.inc("dup_wire_dropped")
+                return
+            self._seen_wire.add(key)
         tag = msg.payload[0]
         if tag == "req":
             _tag, rid, req = msg.payload
@@ -931,6 +966,7 @@ class XenicProtocol:
             self.node.node_id, src, "resp",
             response_size(resp, self.cluster.value_size),
             ("resp", rid, resp),
+            wire_id=self._next_wire_id(),
         )
         self.node.nic.send(msg)
 

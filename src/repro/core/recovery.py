@@ -54,16 +54,23 @@ class ClusterManager:
         lease.expires_at = self.sim.now + self.lease_us
 
     def live_nodes(self) -> Set[int]:
+        """Nodes whose lease has not lapsed.
+
+        The boundary is inclusive: a lease renewed at exactly its expiry
+        instant (``expires_at == now``) is still live — the holder acted
+        within its lease.  ``check_expiry`` uses the strict complement, so
+        a node is never simultaneously live and expired.
+        """
         return {
             nid for nid, lease in self._leases.items()
-            if lease.expires_at > self.sim.now
+            if lease.expires_at >= self.sim.now
         }
 
     def check_expiry(self) -> List[int]:
         """Returns newly expired nodes and bumps the configuration epoch."""
         expired = [
             nid for nid, lease in self._leases.items()
-            if lease.expires_at <= self.sim.now
+            if lease.expires_at < self.sim.now
         ]
         for nid in expired:
             del self._leases[nid]
@@ -71,6 +78,14 @@ class ClusterManager:
         if expired:
             self.config_epoch += 1
         return expired
+
+    def revoke(self, node_id: int) -> None:
+        """Administratively drop a node's lease (fail-stop declaration),
+        independent of the expiry boundary."""
+        if node_id in self._leases:
+            del self._leases[node_id]
+            self.expired_log.append((self.sim.now, node_id))
+            self.config_epoch += 1
 
     def renewal_loop(self, node_id: int, interval_us: Optional[float] = None,
                      alive=lambda: True):
@@ -103,10 +118,9 @@ class RecoveryManager:
             self.manager.register(node.node_id)
 
     def fail_node(self, node_id: int) -> None:
-        """Mark a node failed (its lease lapses immediately)."""
+        """Mark a node failed (its lease is revoked immediately)."""
         self.cluster.failed.add(node_id)
-        if node_id in self.manager._leases:
-            self.manager._leases[node_id].expires_at = self.sim.now
+        self.manager.revoke(node_id)
         self.manager.check_expiry()
 
     def recover_shard(self, shard: int) -> RecoveryReport:

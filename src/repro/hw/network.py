@@ -22,29 +22,44 @@ class NetMessage:
     (Ethernet/IP/UDP) is added by the port, once per aggregated packet.
     """
 
-    __slots__ = ("src", "dst", "kind", "size", "payload", "sent_at")
+    __slots__ = ("src", "dst", "kind", "size", "payload", "sent_at", "wire_id")
 
-    def __init__(self, src: int, dst: int, kind: str, size: int, payload: Any = None):
+    def __init__(self, src: int, dst: int, kind: str, size: int, payload: Any = None,
+                 wire_id: Any = None):
         self.src = src
         self.dst = dst
         self.kind = kind
         self.size = size
         self.payload = payload
         self.sent_at = 0.0
+        # Transport-level sequence number (set by the sender's protocol
+        # engine): receivers suppress duplicate deliveries by (src, wire_id),
+        # the way RC transports dedup retransmitted PSNs.  None disables
+        # dedup (e.g. raw messages in unit tests).
+        self.wire_id = wire_id
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<NetMessage %s %d->%d %dB>" % (self.kind, self.src, self.dst, self.size)
 
 
 class Fabric:
-    """Registry of node message handlers, keyed by node id."""
+    """Registry of node message handlers, keyed by node id.
+
+    An optional fault injector (see :mod:`repro.sim.faults`) may
+    intercept deliveries to drop, delay, duplicate, or reorder them;
+    without one every message is delivered exactly once, immediately.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
         self._handlers: Dict[int, Callable[[NetMessage], None]] = {}
         self._ports: Dict[int, object] = {}
+        self.injector = None
         self.messages_delivered = 0
         self.bytes_delivered = 0
+
+    def set_injector(self, injector) -> None:
+        self.injector = injector
 
     def register(self, node_id: int, handler: Callable[[NetMessage], None]) -> None:
         if node_id in self._handlers:
@@ -66,6 +81,12 @@ class Fabric:
                 self.deliver(node_id, msg)
 
     def deliver(self, node_id: int, msg: NetMessage) -> None:
+        if self.injector is not None and \
+                self.injector.intercept_delivery(self, node_id, msg):
+            return
+        self._deliver_now(node_id, msg)
+
+    def _deliver_now(self, node_id: int, msg: NetMessage) -> None:
         handler = self._handlers.get(node_id)
         if handler is None:
             raise KeyError("no handler registered for node %d" % node_id)

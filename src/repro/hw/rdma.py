@@ -96,6 +96,10 @@ class RdmaNic:
             ),
         }
         self.ops = {READ: 0, WRITE: 0, ATOMIC: 0, SEND: 0}
+        # Optional fault injector (repro.sim.faults): transient verb
+        # failures retried by the RC transport, each paying a timeout.
+        self.injector = None
+        self.retries = 0
 
     # -- one-sided verbs ---------------------------------------------------
 
@@ -139,6 +143,7 @@ class RdmaNic:
                         on_target=None):
         # initiator NIC descriptor processing + wire out
         yield self._tx_pipe.transfer(0)
+        yield from self._transient_failures(verb)
         yield self._wire.transfer(out_bytes)
         yield self.sim.timeout(self.params.propagation_us)
         # target NIC descriptor processing (incl. PCIe DMA to host memory)
@@ -186,9 +191,21 @@ class RdmaNic:
         )
         return done
 
+    def _transient_failures(self, verb: str):
+        """Transient verb failures before the linearization point: the RC
+        transport retries after a timeout, so the verb completes late but
+        exactly once."""
+        if self.injector is None:
+            return
+        retries = self.injector.rdma_retries(self, verb)
+        for _ in range(retries):
+            self.retries += 1
+            yield self.sim.timeout(self.injector.spec.rdma_retry_us)
+
     def _rpc_proc(self, target, req_size, resp_size, handler_ref_us, done,
                   on_target=None):
         yield self._tx_pipe.transfer(0)
+        yield from self._transient_failures(SEND)
         yield self._wire.transfer(req_size + self.params.per_op_wire_bytes)
         yield self.sim.timeout(self.params.propagation_us)
         yield target._rx_pipe.transfer(0)

@@ -1,6 +1,7 @@
 """Discrete-event simulation substrate (clock, processes, resources, RNG)."""
 
 from .core import AllOf, AnyOf, Event, Interrupt, Process, SimulationError, Simulator, Timeout
+from .faults import CrashEvent, FaultEvent, FaultPlan, FaultSpec, FaultTrace
 from .link import BatchingLink, SerialLink
 from .resources import Resource, Semaphore, Store
 from .rng import HotspotGenerator, RngStream, ZipfGenerator
@@ -27,4 +28,9 @@ __all__ = [
     "LatencyRecorder",
     "ThroughputMeter",
     "Counter",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultTrace",
+    "FaultEvent",
+    "CrashEvent",
 ]

@@ -42,6 +42,10 @@ class SerialLink:
         self._busy_until = 0.0
         self.bytes_transferred = 0
         self.transfers = 0
+        self.stalls = 0
+        # Optional fault injector (repro.sim.faults): adds transient
+        # per-transfer stalls (PFC pauses, arbitration hiccups).
+        self.injector = None
         self.batch_sizes = OnlineStats()
 
     def serialization_us(self, nbytes: int) -> float:
@@ -53,6 +57,11 @@ class SerialLink:
         now = self.sim.now
         start = max(now, self._busy_until)
         duration = self.overhead_us + self.serialization_us(nbytes)
+        if self.injector is not None:
+            stall = self.injector.link_stall_us(self)
+            if stall > 0.0:
+                self.stalls += 1
+                duration += stall
         self._busy_until = start + duration
         self.bytes_transferred += nbytes
         self.transfers += 1

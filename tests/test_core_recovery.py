@@ -77,6 +77,49 @@ def test_renew_unknown_node_raises():
         mgr.renew(5)
 
 
+def test_lease_renewed_at_expiry_instant_is_live():
+    """Boundary pin: a lease renewed at exactly its expiry instant
+    (``expires_at == now``) is still live — the holder acted within its
+    lease — and ``check_expiry`` (the strict complement) must not expire
+    it, so a node is never simultaneously live and expired."""
+    sim = Simulator()
+    mgr = ClusterManager(sim, lease_us=100.0)
+    mgr.register(0)
+
+    def at_expiry(sim):
+        yield sim.timeout(100.0)  # now == expires_at, to the instant
+        assert mgr.live_nodes() == {0}
+        assert mgr.check_expiry() == []
+        assert mgr.config_epoch == 0
+        mgr.renew(0)
+
+    sim.spawn(at_expiry(sim))
+    sim.run()
+    # renewed at t=100 -> expires at t=200; live through the boundary
+    sim._now = 200.0
+    assert mgr.live_nodes() == {0}
+    assert mgr.check_expiry() == []
+    sim._now = 200.5
+    assert mgr.live_nodes() == set()
+    assert mgr.check_expiry() == [0]
+    assert mgr.config_epoch == 1
+
+
+def test_revoke_drops_lease_immediately():
+    """fail_node-style revocation removes the lease regardless of the
+    expiry boundary and bumps the epoch exactly once."""
+    sim = Simulator()
+    mgr = ClusterManager(sim, lease_us=100.0)
+    mgr.register(0)
+    mgr.register(1)
+    mgr.revoke(1)
+    assert mgr.live_nodes() == {0}
+    assert mgr.expired_log == [(0.0, 1)]
+    assert mgr.config_epoch == 1
+    mgr.revoke(1)  # idempotent
+    assert mgr.config_epoch == 1
+
+
 # ---------------------------------------------------------------------------
 # recovery
 # ---------------------------------------------------------------------------
