@@ -19,15 +19,30 @@ Fault injection (``docs/FAULTS.md``)::
 ``chaos`` runs seeded randomized fault schedules against the invariant
 checker; ``--faults`` on any experiment runs that experiment under the
 given fault plan.
+
+Observability (``docs/OBSERVABILITY.md``)::
+
+    python -m repro trace --workload smallbank --trace-out /tmp/t.json
+    python -m repro metrics --workload retwis
+    python -m repro fig8d --trace-out fig8d.json
+    python -m repro chaos --obs --trace-out chaos.json
+    python -m repro fig8d --json        # machine-readable BENCH_fig8d.json
+
+``trace`` runs one workload with the full observability layer and writes
+a Perfetto-loadable Chrome trace; ``--obs``/``--trace-out`` on any
+experiment or on ``chaos`` does the same for that run, and ``--json``
+dumps every experiment's results to ``BENCH_<name>.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .bench import (
     DEFAULT_CHAOS_FAULTS,
+    Bench,
     cache_capacity_sweep,
     displacement_limit_sweep,
     figure2_latency,
@@ -39,14 +54,24 @@ from .bench import (
     figure8d_smallbank,
     figure9a_throughput_ablation,
     figure9b_latency_ablation,
+    live_observers,
     offpath_comparison,
     offpath_platform_check,
     run_chaos,
     set_default_faults,
+    set_default_obs,
     table1_cores,
     table2_lookup,
     table3_thread_counts,
+    workload_by_name,
+    write_results_json,
 )
+from .obs import (print_metrics_summary, write_chrome_trace,
+                  write_metrics_json)
+
+# The trace/metrics subcommands default to a light fault plan so the
+# exported timeline includes fault instant events; --faults none disables.
+DEFAULT_TRACE_FAULTS = "delay=0.03:6,dup=0.01"
 
 COMMANDS = {
     "fig2": ("Figure 2: remote-op roundtrip latency",
@@ -101,6 +126,37 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
                    help="root seed of the fault-injection RNG streams")
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--obs", action="store_true",
+                   help="install the observability layer "
+                        "(docs/OBSERVABILITY.md)")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome trace-event JSON (implies --obs)")
+
+
+def _add_run_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", default="smallbank",
+                   choices=("smallbank", "retwis", "tpcc", "tpcc_no"),
+                   help="workload to drive")
+    p.add_argument("--system", default="xenic",
+                   help="xenic | drtmh | drtmh_nc | fasst | drtmr")
+    p.add_argument("--nodes", type=int, default=3, help="cluster size")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="closed-loop contexts per node")
+    p.add_argument("--warmup", type=float, default=100.0,
+                   help="warmup before the window, simulated µs")
+    p.add_argument("--window", type=float, default=400.0,
+                   help="measurement window, simulated µs")
+    p.add_argument("--seed", type=int, default=7, help="workload seed")
+    p.add_argument("--sample-interval", type=float, default=20.0,
+                   help="gauge sampling interval, simulated µs")
+    p.add_argument("--faults", default=DEFAULT_TRACE_FAULTS, metavar="SPEC",
+                   help="fault spec ('none' to disable; default: %(default)s"
+                        " so the timeline shows fault instants)")
+    p.add_argument("--fault-seed", type=int, default=1234,
+                   help="root seed of the fault-injection RNG streams")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -112,14 +168,21 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser = sub.add_parser("all", help="run every experiment")
     all_parser.add_argument("--full", action="store_true")
     all_parser.add_argument("--keys", type=int, default=20000)
+    all_parser.add_argument("--json", action="store_true",
+                            help="write BENCH_<name>.json per experiment")
     _add_fault_args(all_parser)
+    _add_obs_args(all_parser)
     for name, (help_text, _fn) in COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--full", action="store_true",
                        help="larger, slower configuration")
         p.add_argument("--keys", type=int, default=20000,
                        help="keyspace size for table-structure experiments")
+        p.add_argument("--json", action="store_true",
+                       help="write machine-readable results to "
+                            "BENCH_%s.json" % name)
         _add_fault_args(p)
+        _add_obs_args(p)
     chaos = sub.add_parser(
         "chaos",
         help="randomized fault schedules + invariant checks (docs/FAULTS.md)")
@@ -139,18 +202,105 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit nonzero on any invariant violation")
     chaos.add_argument("--trace", action="store_true",
                        help="print the full fault trace of each run")
+    _add_obs_args(chaos)
+    trace = sub.add_parser(
+        "trace",
+        help="run one workload under the observability layer and export a "
+             "Chrome trace (docs/OBSERVABILITY.md)")
+    _add_run_args(trace)
+    trace.add_argument("--trace-out", default="trace.json", metavar="FILE",
+                       help="output path for the Chrome trace-event JSON")
+    trace.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="also write the metrics JSON dump")
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one workload and print the metrics-registry summary")
+    _add_run_args(metrics)
+    metrics.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="also write the metrics JSON dump")
     return parser
+
+
+def _run_observed_bench(args) -> Bench:
+    """Shared body of the trace/metrics subcommands: one observed run."""
+    if args.faults and args.faults.lower() not in ("none", "off", ""):
+        set_default_faults(args.faults, args.fault_seed)
+    else:
+        set_default_faults(None)
+    try:
+        workload = workload_by_name(args.workload, args.nodes,
+                                    seed=args.seed)
+        bench = Bench(args.system, workload, n_nodes=args.nodes,
+                      seed=args.seed, obs=True,
+                      obs_interval_us=args.sample_interval)
+        result = bench.measure(args.concurrency, warmup_us=args.warmup,
+                               window_us=args.window)
+    finally:
+        set_default_faults(None)
+    print(result)
+    return bench
+
+
+def run_trace_command(args) -> int:
+    bench = _run_observed_bench(args)
+    fault_trace = bench.fault_plan.trace if bench.fault_plan else None
+    path = write_chrome_trace(args.trace_out, bench.observer, fault_trace)
+    print("wrote %s (%d events, %d dropped, %d sampler ticks)"
+          % (path, len(bench.observer.log), bench.observer.log.dropped,
+             bench.observer.sampler.ticks))
+    if args.metrics_out:
+        print("wrote %s" % write_metrics_json(args.metrics_out,
+                                              bench.observer))
+    return 0
+
+
+def run_metrics_command(args) -> int:
+    bench = _run_observed_bench(args)
+    print_metrics_summary(bench.observer)
+    if args.metrics_out:
+        print("wrote %s" % write_metrics_json(args.metrics_out,
+                                              bench.observer))
+    return 0
+
+
+def _flush_obs_traces(trace_out) -> None:
+    """Export the traces of every Bench built under --obs/--trace-out."""
+    observed = live_observers()
+    if not observed:
+        return
+    if trace_out is None:
+        for observer, bench in observed:
+            observer.snapshot_counters()
+        return
+    base, ext = os.path.splitext(trace_out)
+    for k, (observer, bench) in enumerate(observed):
+        if len(observed) == 1:
+            path = trace_out
+        else:
+            path = "%s-%02d-%s-%s%s" % (base, k, bench.system,
+                                        bench.workload.name, ext or ".json")
+        fault_trace = bench.fault_plan.trace if bench.fault_plan else None
+        write_chrome_trace(path, observer, fault_trace)
+        print("wrote %s (%d events)" % (path, len(observer.log)))
 
 
 def run_chaos_command(args) -> int:
     failures = 0
+    obs = bool(args.obs or args.trace_out)
+    base, ext = (os.path.splitext(args.trace_out) if args.trace_out
+                 else ("", ""))
     for seed in range(args.seed, args.seed + args.seeds):
         result = run_chaos(system=args.system, seed=seed,
                            faults=args.faults, n_txns=args.txns,
-                           n_nodes=args.nodes)
+                           n_nodes=args.nodes, obs=obs)
         print(result)
         if args.trace and result.trace is not None and len(result.trace):
             print(result.trace.format())
+        if args.trace_out and result.observer is not None:
+            path = (args.trace_out if args.seeds == 1
+                    else "%s-seed%d%s" % (base, seed, ext or ".json"))
+            write_chrome_trace(path, result.observer, result.trace)
+            print("wrote %s (%d events)" % (path, len(result.observer.log)))
         if not result.ok:
             failures += 1
     print("%d/%d seeds clean" % (args.seeds - failures, args.seeds))
@@ -167,18 +317,40 @@ def main(argv=None) -> int:
             print("%-*s  %s" % (width, name, help_text))
         print("%-*s  %s" % (width, "chaos",
                             "randomized fault schedules + invariant checks"))
+        print("%-*s  %s" % (width, "trace",
+                            "observed run -> Chrome trace export"))
+        print("%-*s  %s" % (width, "metrics",
+                            "observed run -> metrics summary"))
         return 0
     if args.command == "chaos":
         return run_chaos_command(args)
+    if args.command == "trace":
+        return run_trace_command(args)
+    if args.command == "metrics":
+        return run_metrics_command(args)
     if getattr(args, "faults", None):
         set_default_faults(args.faults, args.fault_seed)
-    if args.command == "all":
-        for name, (help_text, fn) in COMMANDS.items():
-            print("\n### %s" % help_text)
-            fn(args)
-        return 0
-    _help, fn = COMMANDS[args.command]
-    fn(args)
+    if getattr(args, "obs", False) or getattr(args, "trace_out", None):
+        set_default_obs(True)
+    try:
+        if args.command == "all":
+            for name, (help_text, fn) in COMMANDS.items():
+                print("\n### %s" % help_text)
+                result = fn(args)
+                if args.json:
+                    print("wrote %s" % write_results_json(
+                        "BENCH_%s.json" % name, name, result))
+            _flush_obs_traces(getattr(args, "trace_out", None))
+            return 0
+        _help, fn = COMMANDS[args.command]
+        result = fn(args)
+        if args.json:
+            print("wrote %s" % write_results_json(
+                "BENCH_%s.json" % args.command, args.command, result))
+        _flush_obs_traces(getattr(args, "trace_out", None))
+    finally:
+        set_default_faults(None)
+        set_default_obs(False)
     return 0
 
 

@@ -163,6 +163,8 @@ class BaselineCoordinator:
         self.node = node
         self.sim = node.sim
         self.stats = Counter()
+        # Observability sink (repro.obs.Observer); None disables spans.
+        self.obs = None
 
     # -- public API ------------------------------------------------------------
 
@@ -174,11 +176,15 @@ class BaselineCoordinator:
             if ok:
                 break
             self.stats.inc("aborts")
+            if self.obs is not None:
+                self.obs.txn_abort(self.node.node_id, txn)
             txn.reset_for_retry()
             yield self.sim.timeout(ABORT_BACKOFF_US * min(txn.attempts, 16))
         txn.committed_at = self.sim.now
         txn.status = TxnStatus.COMMITTED
         self.stats.inc("commits")
+        if self.obs is not None:
+            self.obs.txn_commit(self.node.node_id, txn)
         return txn
 
     # -- shared skeleton ------------------------------------------------------------

@@ -22,7 +22,9 @@ from .experiments import (
 )
 from .chaos import DEFAULT_CHAOS_FAULTS, ChaosResult, run_chaos
 from .report import format_table, print_curves, print_table
-from .runner import Bench, RunResult, run_point, run_sweep, set_default_faults
+from .runner import (Bench, RunResult, live_observers, run_point, run_sweep,
+                     set_default_faults, set_default_obs, to_jsonable,
+                     workload_by_name, write_results_json)
 from .trace import PhaseSample, Tracer, TxnTrace
 
 __all__ = [
@@ -56,4 +58,9 @@ __all__ = [
     "run_chaos",
     "DEFAULT_CHAOS_FAULTS",
     "set_default_faults",
+    "set_default_obs",
+    "live_observers",
+    "to_jsonable",
+    "write_results_json",
+    "workload_by_name",
 ]

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Union
 
 from ..baselines import SYSTEMS, BaselineCluster
 from ..core import TxnSpec, XenicCluster, XenicConfig
+from ..obs import Observer
 from ..sim import RngStream, Simulator
 from ..sim.faults import FaultPlan, FaultSpec, FaultTrace
 
@@ -54,6 +55,7 @@ class ChaosResult:
     violations: List[str] = field(default_factory=list)
     trace: Optional[FaultTrace] = None
     sim_time_us: float = 0.0
+    observer: Optional[Observer] = None
 
     @property
     def ok(self) -> bool:
@@ -103,12 +105,19 @@ def run_chaos(
     span_us: float = 300.0,
     limit_us: float = 500_000.0,
     config: Optional[XenicConfig] = None,
+    obs: bool = False,
 ) -> ChaosResult:
-    """One seeded chaos run; see the module docstring for the invariants."""
+    """One seeded chaos run; see the module docstring for the invariants.
+
+    With ``obs=True`` an :class:`~repro.obs.Observer` is installed before
+    the workload and returned in ``ChaosResult.observer``, ready for
+    trace export (fault injections from the plan land on the same
+    timeline as instant events)."""
     spec = FaultSpec.parse(faults) if isinstance(faults, str) else faults
     sim = Simulator()
     cluster = _build_cluster(system, sim, n_nodes, keys, config, rf)
     plan = FaultPlan(spec, RngStream(seed, "faults")).install(cluster)
+    observer = Observer(sim).install(cluster) if obs else None
 
     # deterministic commuting-increment workload, independent RNG stream
     wl = RngStream(seed, "workload")
@@ -150,7 +159,8 @@ def run_chaos(
     limbo = n_txns - len(done)
     result = ChaosResult(system=system, seed=seed, spec=spec,
                          commits=commits, aborts=aborts, limbo=limbo,
-                         trace=plan.trace, sim_time_us=sim.now)
+                         trace=plan.trace, sim_time_us=sim.now,
+                         observer=observer)
     if not spec.crashes:
         if limbo:
             result.violations.append(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Sequence
 
 __all__ = ["print_table", "print_curves", "format_table"]
@@ -23,6 +24,10 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
 
 def _fmt(cell) -> str:
     if isinstance(cell, float):
+        if math.isnan(cell):
+            return "nan"
+        if math.isinf(cell):
+            return "inf" if cell > 0 else "-inf"
         if cell == 0:
             return "0"
         if abs(cell) >= 1000:

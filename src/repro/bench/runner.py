@@ -14,16 +14,22 @@ concurrency), so table-loading cost is paid once per curve.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..baselines import SYSTEMS, BaselineCluster
 from ..core import XenicCluster, XenicConfig
+from ..obs import Observer
 from ..sim import LatencyRecorder, Simulator
+from ..workloads import WORKLOADS
 from ..workloads.base import Workload
 
 __all__ = ["RunResult", "Bench", "run_point", "run_sweep",
-           "set_default_faults"]
+           "set_default_faults", "set_default_obs", "live_observers",
+           "to_jsonable", "write_results_json", "workload_by_name"]
 
 XENIC = "xenic"
 ALL_SYSTEMS = (XENIC, "drtmh", "drtmh_nc", "fasst", "drtmr")
@@ -32,12 +38,81 @@ ALL_SYSTEMS = (XENIC, "drtmh", "drtmh_nc", "fasst", "drtmr")
 # Bench built afterwards runs its experiment under this plan.
 _DEFAULT_FAULTS: Optional[tuple] = None
 
+# Process-wide observability default, set from the CLI (--obs /
+# --trace-out): every Bench built afterwards installs an Observer, and
+# the (observer, bench) pairs are kept so the CLI can export traces
+# after the experiment finishes.
+_DEFAULT_OBS: Optional[dict] = None
+_LIVE_OBSERVERS: List[Tuple[Observer, "Bench"]] = []
+
 
 def set_default_faults(spec: Optional[str], seed: int = 1234) -> None:
     """Install (or clear, with ``spec=None``) a fault spec applied to every
     subsequently built :class:`Bench` — the ``--faults`` CLI hook."""
     global _DEFAULT_FAULTS
     _DEFAULT_FAULTS = None if spec is None else (spec, seed)
+
+
+def set_default_obs(enabled: bool, interval_us: float = 20.0) -> None:
+    """Enable (or disable) observability on every subsequently built
+    :class:`Bench` — the ``--obs``/``--trace-out`` CLI hook."""
+    global _DEFAULT_OBS
+    _LIVE_OBSERVERS.clear()
+    _DEFAULT_OBS = {"interval_us": interval_us} if enabled else None
+
+
+def live_observers() -> List[Tuple[Observer, "Bench"]]:
+    """Observers created under :func:`set_default_obs`, in build order."""
+    return list(_LIVE_OBSERVERS)
+
+
+# ---------------------------------------------------------------------------
+# machine-readable results (--json)
+# ---------------------------------------------------------------------------
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert experiment results (dataclasses, dicts, lists,
+    scalars) into JSON-serializable structures; NaN/inf become null."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        return None if (math.isnan(obj) or math.isinf(obj)) else obj
+    return str(obj)
+
+
+def write_results_json(path: str, experiment: str, results: Any) -> str:
+    """Write one experiment's results as ``{"experiment", "results"}``."""
+    payload = {"experiment": experiment, "results": to_jsonable(results)}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def workload_by_name(name: str, n_nodes: int, seed: int = 1) -> Workload:
+    """Build a reduced-scale workload by CLI name (trace/metrics
+    subcommands; scaled like the test configurations, not the full
+    benchmark keyspaces)."""
+    if name not in WORKLOADS:
+        raise ValueError("unknown workload %r (have: %s)"
+                         % (name, ", ".join(sorted(WORKLOADS))))
+    cls = WORKLOADS[name]
+    if name == "smallbank":
+        return cls(n_nodes, accounts_per_server=1500,
+                   hot_keys_fraction=0.25, seed=seed)
+    if name == "retwis":
+        return cls(n_nodes, keys_per_server=1500, seed=seed)
+    # tpcc / tpcc_no
+    return cls(n_nodes, warehouses_per_server=2, stock_per_warehouse=100,
+               customers_per_warehouse=10, seed=seed)
 
 
 @dataclass
@@ -75,6 +150,8 @@ class Bench:
         baseline_host_threads: Optional[int] = None,
         hardware=None,
         seed: int = 7,
+        obs=None,
+        obs_interval_us: float = 20.0,
     ):
         self.system = system
         self.workload = workload
@@ -132,6 +209,19 @@ class Bench:
                     else FaultSpec.parse(spec_text))
             self.fault_plan = FaultPlan(
                 spec, RngStream(fault_seed, "faults")).install(self.cluster)
+        # Observability: an explicit Observer/True wins; otherwise the
+        # process-wide default (set_default_obs) applies.
+        self.observer: Optional[Observer] = None
+        if obs is None and _DEFAULT_OBS is not None:
+            obs = True
+            obs_interval_us = _DEFAULT_OBS["interval_us"]
+        if obs:
+            self.observer = (obs if isinstance(obs, Observer)
+                             else Observer(self.sim,
+                                           sample_interval_us=obs_interval_us))
+            self.observer.install(self.cluster)
+            if _DEFAULT_OBS is not None:
+                _LIVE_OBSERVERS.append((self.observer, self))
         self._contexts = 0
         self._recorder: Optional[LatencyRecorder] = None
         self._counting = False

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..obs.interpose import interpose, remove_interposers
+
 __all__ = ["PhaseSample", "TxnTrace", "Tracer"]
 
 
@@ -49,6 +51,11 @@ class TxnTrace:
 class Tracer:
     """Interposes on one protocol instance and records phase timelines.
 
+    Built on :mod:`repro.obs.interpose`, so any number of interposers
+    (multiple tracers, the observability layer) can stack on the same
+    protocol and attach/detach in any order without corrupting the
+    wrapped methods.  ``attach``/``detach`` are idempotent.
+
     Usage::
 
         tracer = Tracer(cluster.protocols[0])
@@ -67,60 +74,66 @@ class Tracer:
         self.max_traces = max_traces
         self.traces: List[TxnTrace] = []
         self._live: Dict[int, TxnTrace] = {}
-        self._originals = {}
-        self._attach()
+        self._attached = False
+        self.attach()
 
     # -- interposition ------------------------------------------------------
 
-    def _attach(self) -> None:
+    def attach(self) -> None:
+        if self._attached:
+            return
         proto = self.protocol
-        self._originals["run_transaction"] = proto.run_transaction
         tracer = self
 
-        def run_transaction(spec, _orig=proto.run_transaction):
-            gen = _orig(spec)
-            txn = yield from gen
-            if len(tracer.traces) < tracer.max_traces:
-                # keep the live entry registered: background phases
-                # (e.g. the COMMIT continuation) finish after the commit
-                # report and still attach their samples
-                trace = tracer._live.setdefault(
-                    txn.txn_id,
-                    TxnTrace(txn.txn_id, spec.label, txn.started_at),
-                )
-                trace.started_at = txn.started_at
-                trace.committed_at = txn.committed_at
-                trace.attempts = txn.attempts
-                trace.label = spec.label
-                tracer.traces.append(trace)
-                if len(tracer._live) > 4096:
-                    tracer._prune()
-            return txn
+        def rt_factory(call_inner):
+            def run_transaction(spec):
+                txn = yield from call_inner(spec)
+                if len(tracer.traces) < tracer.max_traces:
+                    # keep the live entry registered: background phases
+                    # (e.g. the COMMIT continuation) finish after the
+                    # commit report and still attach their samples
+                    trace = tracer._live.setdefault(
+                        txn.txn_id,
+                        TxnTrace(txn.txn_id, spec.label, txn.started_at),
+                    )
+                    trace.started_at = txn.started_at
+                    trace.committed_at = txn.committed_at
+                    trace.attempts = txn.attempts
+                    trace.label = spec.label
+                    tracer.traces.append(trace)
+                    if len(tracer._live) > 4096:
+                        tracer._prune()
+                return txn
 
-        proto.run_transaction = run_transaction
+            return run_transaction
+
+        interpose(proto, "run_transaction", self, rt_factory)
 
         for name in self.PHASES:
-            original = getattr(proto, name)
-            self._originals[name] = original
+            def phase_factory(call_inner, _name=name):
+                def wrapper(*args, **kw):
+                    txn = args[0]
+                    start = tracer.sim.now
+                    result = yield from call_inner(*args, **kw)
+                    trace = tracer._live.setdefault(
+                        txn.txn_id,
+                        TxnTrace(txn.txn_id, txn.spec.label, txn.started_at),
+                    )
+                    trace.phases.append(
+                        PhaseSample(_name.lstrip("_"), start, tracer.sim.now))
+                    return result
 
-            def wrapper(*args, _orig=original, _name=name, **kw):
-                txn = args[0]
-                start = tracer.sim.now
-                result = yield from _orig(*args, **kw)
-                trace = tracer._live.setdefault(
-                    txn.txn_id,
-                    TxnTrace(txn.txn_id, txn.spec.label, txn.started_at),
-                )
-                trace.phases.append(
-                    PhaseSample(_name.lstrip("_"), start, tracer.sim.now))
-                return result
+                return wrapper
 
-            setattr(proto, name, wrapper)
+            interpose(proto, name, self, phase_factory)
+        self._attached = True
 
     def detach(self) -> None:
-        for name, original in self._originals.items():
-            setattr(self.protocol, name, original)
-        self._originals.clear()
+        if not self._attached:
+            return
+        for name in ("run_transaction",) + self.PHASES:
+            remove_interposers(self.protocol, name, self)
+        self._attached = False
         self._live.clear()
 
     def _prune(self) -> None:

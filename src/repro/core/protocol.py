@@ -63,6 +63,9 @@ class XenicProtocol:
         self.runtime = NicRuntime(self.sim, node.nic, node.config)
         self.host_pending = PendingTable(self.sim)
         self.stats = Counter()
+        # Observability sink (repro.obs.Observer); None disables span
+        # emission at the cost of one branch per transaction outcome.
+        self.obs = None
         self._req_seq = 0
         # Transport-level exactly-once delivery: outbound messages carry a
         # per-sender wire sequence number; inbound duplicates (retransmit
@@ -89,11 +92,15 @@ class XenicProtocol:
             if ok:
                 break
             self.stats.inc("aborts")
+            if self.obs is not None:
+                self.obs.txn_abort(self.node.node_id, txn)
             txn.reset_for_retry()
             yield self.sim.timeout(ABORT_BACKOFF_US * min(txn.attempts, 16))
         txn.committed_at = self.sim.now
         txn.status = TxnStatus.COMMITTED
         self.stats.inc("commits")
+        if self.obs is not None:
+            self.obs.txn_commit(self.node.node_id, txn)
         return txn
 
     def _attempt(self, txn: Transaction):

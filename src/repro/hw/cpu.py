@@ -9,6 +9,7 @@ those costs by the Coremark-derived speed ratio (Table 1), which is how the
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Optional
 
 from ..sim.core import Event, Simulator
@@ -45,6 +46,23 @@ class CoreGroup:
         self.slowdown = reference.coremark_per_thread / params.coremark_per_thread
         self.jobs_executed = 0
         self.busy_us = 0.0
+        # Observability hook (repro.obs): when attached, each job emits a
+        # per-core span.  None keeps the hot path to a single branch.
+        self.obs_sink = None
+        self._obs_node = 0
+        self._obs_track = self.name
+        self._obs_free: list = []
+
+    def attach_obs(self, sink, node: int, track: str) -> None:
+        """Attach an observability sink; jobs are attributed to logical
+        core slots ``track.c<i>`` (lowest free slot first)."""
+        self.obs_sink = sink
+        self._obs_node = node
+        self._obs_track = track
+        self._obs_free = list(range(self.cores))
+
+    def detach_obs(self) -> None:
+        self.obs_sink = None
 
     def service_us(self, ref_us: float) -> float:
         """Wall time on one of these cores for a reference-cost job."""
@@ -67,6 +85,9 @@ class CoreGroup:
 
     def _run(self, ref_us: float, done: Event):
         yield self.pool.acquire()
+        sink = self.obs_sink
+        slot = heappop(self._obs_free) if (sink is not None and self._obs_free) else None
+        start = self.sim.now
         try:
             service = self.service_us(ref_us)
             self.jobs_executed += 1
@@ -74,12 +95,20 @@ class CoreGroup:
             if service > 0:
                 yield self.sim.timeout(service)
         finally:
+            if sink is not None:
+                sink.core_job(self._obs_node, self._obs_track, slot,
+                              start, self.sim.now)
+                if slot is not None:
+                    heappush(self._obs_free, slot)
             self.pool.release()
         done.succeed()
 
     def run(self, ref_us: float):
         """Generator form for use inside a process: ``yield from cores.run(w)``."""
         yield self.pool.acquire()
+        sink = self.obs_sink
+        slot = heappop(self._obs_free) if (sink is not None and self._obs_free) else None
+        start = self.sim.now
         try:
             service = self.service_us(ref_us)
             self.jobs_executed += 1
@@ -87,6 +116,11 @@ class CoreGroup:
             if service > 0:
                 yield self.sim.timeout(service)
         finally:
+            if sink is not None:
+                sink.core_job(self._obs_node, self._obs_track, slot,
+                              start, self.sim.now)
+                if slot is not None:
+                    heappush(self._obs_free, slot)
             self.pool.release()
 
     def utilization(self, since: float = 0.0) -> float:

@@ -67,6 +67,27 @@ class DmaEngine:
         self.vector_sizes = OnlineStats()
         self.read_latency = OnlineStats()
         self.write_latency = OnlineStats()
+        # Observability hook (repro.obs): emits one span per vector on the
+        # queue it landed in.  None keeps submit() to a single branch.
+        self.obs_sink = None
+        self._obs_node = 0
+
+    def attach_obs(self, sink, node: int) -> None:
+        self.obs_sink = sink
+        self._obs_node = node
+
+    def detach_obs(self) -> None:
+        self.obs_sink = None
+
+    def busy_queues(self) -> int:
+        """Queues with descriptor work still outstanding (gauge source)."""
+        now = self.sim.now
+        return sum(1 for t in self._queue_busy_until if t > now)
+
+    def queue_backlog_us(self) -> float:
+        """Total descriptor-processing backlog across queues, in µs."""
+        now = self.sim.now
+        return sum(t - now for t in self._queue_busy_until if t > now)
 
     @property
     def submission_cost_us(self) -> float:
@@ -108,6 +129,9 @@ class DmaEngine:
         # not increase per-op latency).
         occupancy = _ENGINE_SUBMIT_US + len(ops) * _ENGINE_PER_OP_US
         self._queue_busy_until[q] = start + occupancy
+        if self.obs_sink is not None:
+            self.obs_sink.dma_vector(self._obs_node, q, start, occupancy,
+                                     len(ops))
         for op in ops:
             op.submitted_at = now
             link_done_delay = self._pcie_busy_delay(op.size)

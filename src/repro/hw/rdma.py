@@ -100,6 +100,8 @@ class RdmaNic:
         # failures retried by the RC transport, each paying a timeout.
         self.injector = None
         self.retries = 0
+        # Verbs issued but not yet completed (gauge source for repro.obs).
+        self.inflight = 0
 
     # -- one-sided verbs ---------------------------------------------------
 
@@ -141,6 +143,7 @@ class RdmaNic:
 
     def _one_sided_proc(self, target, verb, out_bytes, back_bytes, done,
                         on_target=None):
+        self.inflight += 1
         # initiator NIC descriptor processing + wire out
         yield self._tx_pipe.transfer(0)
         yield from self._transient_failures(verb)
@@ -154,6 +157,7 @@ class RdmaNic:
         # response over target's wire
         yield target._wire.transfer(back_bytes)
         yield self.sim.timeout(self.params.propagation_us)
+        self.inflight -= 1
         done.succeed(result)
 
     def read(self, target: "RdmaNic", size: int, on_target=None) -> Event:
@@ -204,6 +208,7 @@ class RdmaNic:
 
     def _rpc_proc(self, target, req_size, resp_size, handler_ref_us, done,
                   on_target=None):
+        self.inflight += 1
         yield self._tx_pipe.transfer(0)
         yield from self._transient_failures(SEND)
         yield self._wire.transfer(req_size + self.params.per_op_wire_bytes)
@@ -217,4 +222,5 @@ class RdmaNic:
         yield self.sim.timeout(self._fixed[SEND])
         yield target._wire.transfer(resp_size + self.params.per_op_wire_bytes)
         yield self.sim.timeout(self.params.propagation_us)
+        self.inflight -= 1
         done.succeed(result)

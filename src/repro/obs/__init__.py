@@ -1,0 +1,42 @@
+"""Observability layer: metrics registry, telemetry sampling, distributed
+transaction spans, and Chrome-trace/JSON exporters.
+
+Entry point: create an :class:`Observer`, ``install(cluster)`` before the
+workload, run, then export::
+
+    from repro.obs import Observer, write_chrome_trace
+
+    obs = Observer(sim).install(cluster)
+    ...  # run the workload
+    write_chrome_trace("trace.json", obs)
+
+Everything is simulated-time only and deterministic; with no Observer
+installed the instrumentation hooks cost a single predicate per event.
+See ``docs/OBSERVABILITY.md``.
+"""
+
+from .events import EventLog, InstantEvent, SpanEvent
+from .export import (chrome_trace_events, dumps_chrome_trace,
+                     metrics_to_dict, print_metrics_summary,
+                     write_chrome_trace, write_metrics_json)
+from .interpose import interpose, interposers_of, remove_interposers
+from .observer import Observer
+from .registry import MetricsRegistry, Sampler
+
+__all__ = [
+    "Observer",
+    "MetricsRegistry",
+    "Sampler",
+    "EventLog",
+    "SpanEvent",
+    "InstantEvent",
+    "interpose",
+    "remove_interposers",
+    "interposers_of",
+    "chrome_trace_events",
+    "dumps_chrome_trace",
+    "write_chrome_trace",
+    "metrics_to_dict",
+    "write_metrics_json",
+    "print_metrics_summary",
+]

@@ -1,0 +1,183 @@
+"""Exporters: Chrome trace-event JSON, metrics JSON, and a text summary.
+
+The Chrome trace format (loadable in Perfetto / chrome://tracing) maps
+the simulation onto processes and threads:
+
+* **pid** — one process per node (``n0``, ``n1``, ...) plus a synthetic
+  ``cluster`` process for cluster-scoped events (faults, fabric gauges);
+* **tid** — one thread per track within a node, assigned in first-seen
+  order: NIC core lanes (``nic.c0``...), host/worker core lanes, DMA
+  queues (``dma.q0``...), the protocol-phase track, the server-handler
+  track;
+* transaction spans — async ``b``/``e`` pairs keyed by txn id, so a
+  transaction's span overlays every node it touched;
+* gauges — ``C`` counter events from the sampler's time series;
+* faults — ``i`` instant events on the cluster timeline.
+
+Timestamps are simulated microseconds, which is exactly the unit the
+trace format expects.  Serialization is canonical (sorted keys, fixed
+separators, deterministic event order), so the same seed produces a
+byte-identical file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .events import InstantEvent, SpanEvent
+from .observer import Observer
+
+__all__ = ["chrome_trace_events", "dumps_chrome_trace", "write_chrome_trace",
+           "metrics_to_dict", "write_metrics_json", "print_metrics_summary"]
+
+# Synthetic pid for cluster-scoped events (nodes use their own ids).
+CLUSTER_PID = 999
+
+
+def _component_pid(component: str) -> int:
+    if component.startswith("n") and component[1:].isdigit():
+        return int(component[1:])
+    return CLUSTER_PID
+
+
+def chrome_trace_events(observer: Observer,
+                        fault_trace=None) -> List[Dict[str, Any]]:
+    """Assemble the full trace-event list (deterministic order)."""
+    observer.snapshot_counters()
+    events: List[Dict[str, Any]] = []
+    tids: Dict[tuple, int] = {}
+    next_tid: Dict[int, int] = {}
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = next_tid.get(pid, 1)
+            next_tid[pid] = tid + 1
+            tids[key] = tid
+        return tid
+
+    body: List[Dict[str, Any]] = []
+    for ev in observer.log:
+        if isinstance(ev, SpanEvent):
+            if ev.cat == "txn":
+                ident = "0x%x" % ev.txn_id
+                common = {"cat": "txn", "id": ident, "pid": ev.node,
+                          "tid": tid_for(ev.node, ev.track), "name": ev.name}
+                begin = dict(common, ph="b", ts=ev.ts)
+                if ev.args:
+                    begin["args"] = ev.args
+                body.append(begin)
+                body.append(dict(common, ph="e", ts=ev.ts + ev.dur))
+            else:
+                rec = {"ph": "X", "cat": ev.cat, "name": ev.name,
+                       "pid": ev.node, "tid": tid_for(ev.node, ev.track),
+                       "ts": ev.ts, "dur": ev.dur}
+                if ev.txn_id is not None:
+                    rec.setdefault("args", {})["txn"] = ev.txn_id
+                if ev.args:
+                    rec.setdefault("args", {}).update(ev.args)
+                body.append(rec)
+        elif isinstance(ev, InstantEvent):
+            rec = {"ph": "i", "s": "t", "cat": ev.cat, "name": ev.name,
+                   "pid": ev.node, "tid": tid_for(ev.node, ev.track),
+                   "ts": ev.ts}
+            if ev.txn_id is not None:
+                rec.setdefault("args", {})["txn"] = ev.txn_id
+            if ev.args:
+                rec.setdefault("args", {}).update(ev.args)
+            body.append(rec)
+
+    # Sampled gauge series -> counter tracks.
+    for gauge in observer.registry.gauges.values():
+        pid = _component_pid(gauge.component)
+        name = "%s/%s" % (gauge.component, gauge.name)
+        for ts, value in gauge.series:
+            body.append({"ph": "C", "name": name, "pid": pid, "tid": 0,
+                         "ts": ts, "args": {"value": value}})
+
+    # Fault injections as instant events on the cluster timeline.
+    if fault_trace is not None:
+        for fe in fault_trace.events:
+            body.append({
+                "ph": "i", "s": "g", "cat": "fault", "name": fe.kind,
+                "pid": CLUSTER_PID, "tid": 0, "ts": fe.t_us,
+                "args": {"site": fe.site, "detail": fe.detail},
+            })
+
+    # Metadata first: process names, then thread names in tid order.
+    pids = sorted({rec["pid"] for rec in body})
+    for pid in pids:
+        pname = "cluster" if pid == CLUSTER_PID else "n%d" % pid
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": pname}})
+    for (pid, track), tid in sorted(tids.items(),
+                                    key=lambda kv: (kv[0][0], kv[1])):
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": tid, "args": {"name": track}})
+    events.extend(body)
+    return events
+
+
+def dumps_chrome_trace(observer: Observer, fault_trace=None) -> str:
+    doc = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(observer, fault_trace),
+        "otherData": {
+            "events_recorded": len(observer.log),
+            "events_dropped": observer.log.dropped,
+        },
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(path: str, observer: Observer,
+                       fault_trace=None) -> str:
+    with open(path, "w") as fh:
+        fh.write(dumps_chrome_trace(observer, fault_trace))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# metrics JSON + text summary
+# ---------------------------------------------------------------------------
+
+
+def metrics_to_dict(observer: Observer) -> dict:
+    observer.snapshot_counters()
+    return {
+        "metrics": observer.registry.as_dict(),
+        "spans": len(observer.log.spans()),
+        "instants": len(observer.log.instants()),
+        "events_dropped": observer.log.dropped,
+        "sampler_ticks": observer.sampler.ticks,
+    }
+
+
+def write_metrics_json(path: str, observer: Observer) -> str:
+    with open(path, "w") as fh:
+        json.dump(metrics_to_dict(observer), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def print_metrics_summary(observer: Observer) -> None:
+    # Imported lazily: repro.bench imports repro.obs, so a module-level
+    # import here would be circular.
+    from ..bench.report import print_table
+
+    data = metrics_to_dict(observer)
+    rows = []
+    for name in sorted(data["metrics"]["counters"]):
+        rows.append(["counter", name, data["metrics"]["counters"][name]])
+    for name, g in sorted(data["metrics"]["gauges"].items()):
+        val = g["last"] if g["last"] is not None else float("nan")
+        rows.append(["gauge", name, val])
+    for name, h in sorted(data["metrics"]["histograms"].items()):
+        rows.append(["hist p50/p99", name,
+                     "%.2f / %.2f" % (h["p50"] or 0.0, h["p99"] or 0.0)])
+    print_table("observability metrics", ["kind", "metric", "value"], rows)
+    print("spans=%d instants=%d dropped=%d sampler_ticks=%d"
+          % (data["spans"], data["instants"], data["events_dropped"],
+             data["sampler_ticks"]))

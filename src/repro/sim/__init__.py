@@ -5,7 +5,7 @@ from .faults import CrashEvent, FaultEvent, FaultPlan, FaultSpec, FaultTrace
 from .link import BatchingLink, SerialLink
 from .resources import Resource, Semaphore, Store
 from .rng import HotspotGenerator, RngStream, ZipfGenerator
-from .stats import Counter, LatencyRecorder, OnlineStats, ThroughputMeter
+from .stats import Counter, LatencyRecorder, LogHistogram, OnlineStats, ThroughputMeter
 
 __all__ = [
     "Simulator",
@@ -25,6 +25,7 @@ __all__ = [
     "ZipfGenerator",
     "HotspotGenerator",
     "OnlineStats",
+    "LogHistogram",
     "LatencyRecorder",
     "ThroughputMeter",
     "Counter",

@@ -288,6 +288,12 @@ class Simulator:
         """Current simulated time in microseconds."""
         return self._now
 
+    @property
+    def pending_events(self) -> int:
+        """Scheduled events not yet fired.  Zero means quiescence: in a
+        closed discrete-event simulation no process can run again."""
+        return len(self._queue)
+
     # -- scheduling -------------------------------------------------------
 
     def _schedule_at(self, when: float, event: Event, value: Any) -> None:

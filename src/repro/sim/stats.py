@@ -8,6 +8,7 @@ from typing import Dict, List, Optional
 
 __all__ = [
     "OnlineStats",
+    "LogHistogram",
     "LatencyRecorder",
     "ThroughputMeter",
     "Counter",
@@ -67,30 +68,117 @@ class OnlineStats:
         self.max = max(self.max, other.max)
 
 
+class LogHistogram:
+    """Fixed-bucket log-scale histogram over positive values.
+
+    Bucket boundaries grow geometrically by ``growth``, so the relative
+    error of any reported quantile is bounded by ``growth - 1``.  Each
+    bucket keeps a count *and* a value sum; the quantile representative is
+    the bucket mean, which is exact whenever a bucket holds identical
+    values (with growth=1.01 every integer up to 100 lands in its own
+    bucket).  Values at or below ``min_value`` share the underflow
+    bucket, values above ``max_value`` the overflow bucket.
+    """
+
+    __slots__ = ("min_value", "max_value", "growth", "_inv_log_growth",
+                 "_n_buckets", "_counts", "_sums", "count", "min", "max")
+
+    def __init__(self, min_value: float = 1e-3, max_value: float = 1e7,
+                 growth: float = 1.01):
+        if min_value <= 0 or max_value <= min_value:
+            raise ValueError("need 0 < min_value < max_value")
+        if growth <= 1.0:
+            raise ValueError("growth must exceed 1.0")
+        self.min_value = min_value
+        self.max_value = max_value
+        self.growth = growth
+        self._inv_log_growth = 1.0 / math.log(growth)
+        span = math.log(max_value / min_value) * self._inv_log_growth
+        # +1 for the underflow bucket, +1 for overflow.
+        self._n_buckets = int(math.ceil(span)) + 2
+        self._counts: List[int] = [0] * self._n_buckets
+        self._sums: List[float] = [0.0] * self._n_buckets
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _bucket_index(self, x: float) -> int:
+        if x <= self.min_value:
+            return 0
+        idx = int(math.log(x / self.min_value) * self._inv_log_growth) + 1
+        return min(idx, self._n_buckets - 1)
+
+    def add(self, x: float) -> None:
+        i = self._bucket_index(x)
+        self._counts[i] += 1
+        self._sums[i] += x
+        self.count += 1
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(0, min(self.count - 1,
+                          math.ceil(p / 100.0 * self.count) - 1))
+        seen = 0
+        for c, s in zip(self._counts, self._sums):
+            if not c:
+                continue
+            seen += c
+            if rank < seen:
+                return s / c
+        return self.max  # not reachable: ranks are < self.count
+
+    @property
+    def mean(self) -> float:
+        return sum(self._sums) / self.count if self.count else 0.0
+
+    def nonzero_buckets(self) -> List[dict]:
+        """Occupied buckets as dicts (for JSON export)."""
+        out = []
+        for i, c in enumerate(self._counts):
+            if c:
+                out.append({"bucket": i, "count": c, "mean": self._sums[i] / c})
+        return out
+
+    def clear(self) -> None:
+        self._counts = [0] * self._n_buckets
+        self._sums = [0.0] * self._n_buckets
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+
 class LatencyRecorder:
     """Collects latency samples and reports percentiles.
 
-    Stores all samples (benchmark runs here are bounded); sorting is
-    deferred to query time and cached.
+    Backed by a fixed-bucket log-scale :class:`LogHistogram`, so
+    recording is O(1) and percentile queries cost O(buckets) regardless
+    of how many samples were recorded; percentiles are exact up to the
+    1% bucket resolution.  The mean stays exact via :class:`OnlineStats`.
     """
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._samples: List[float] = []
-        self._sorted: Optional[List[float]] = None
+        self.hist = LogHistogram()
         self.stats = OnlineStats()
 
     def record(self, latency_us: float) -> None:
-        self._samples.append(latency_us)
-        self._sorted = None
+        self.hist.add(latency_us)
         self.stats.add(latency_us)
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self.hist.count
 
     @property
     def count(self) -> int:
-        return len(self._samples)
+        return self.hist.count
 
     @property
     def mean(self) -> float:
@@ -98,14 +186,9 @@ class LatencyRecorder:
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile, p in [0, 100]."""
-        if not self._samples:
+        if self.hist.count == 0:
             return 0.0
-        if not 0.0 <= p <= 100.0:
-            raise ValueError("percentile must be in [0, 100]")
-        if self._sorted is None:
-            self._sorted = sorted(self._samples)
-        rank = max(0, min(len(self._sorted) - 1, math.ceil(p / 100.0 * len(self._sorted)) - 1))
-        return self._sorted[rank]
+        return self.hist.percentile(p)
 
     @property
     def median(self) -> float:
@@ -116,8 +199,7 @@ class LatencyRecorder:
         return self.percentile(99.0)
 
     def clear(self) -> None:
-        self._samples.clear()
-        self._sorted = None
+        self.hist.clear()
         self.stats = OnlineStats()
 
 

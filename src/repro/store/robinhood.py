@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..sim.stats import OnlineStats
 from .object import VersionedObject, mix64
 
 __all__ = ["RobinhoodTable", "InsertResult", "LookupResult", "DeleteResult"]
@@ -82,6 +83,9 @@ class RobinhoodTable:
         # segment; None marks dirty (recompute lazily)
         self._seg_max_disp: List[Optional[int]] = [0] * self.n_segments
         self.size = 0
+        # Aggregate probe-length distribution across every lookup; read by
+        # the observability layer (repro.obs) as a gauge/histogram source.
+        self.probe_stats = OnlineStats()
 
     @classmethod
     def unlimited(cls, capacity: int, segment_size: int = 8) -> "RobinhoodTable":
@@ -241,6 +245,11 @@ class RobinhoodTable:
     def lookup(self, key: int) -> LookupResult:
         """Probe for ``key`` from its home slot; falls back to the home
         segment's overflow bucket after ``Dm`` slots."""
+        result = self._lookup(key)
+        self.probe_stats.add(result.probe_len)
+        return result
+
+    def _lookup(self, key: int) -> LookupResult:
         home = self.home(key)
         limit = min(self.dm, self.capacity)
         for i in range(limit + 1):

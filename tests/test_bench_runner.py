@@ -93,6 +93,96 @@ def test_format_table_alignment():
     assert "10000" in lines[3]
 
 
+def test_format_table_float_edge_cases():
+    out = format_table(
+        ["v"],
+        [[float("nan")], [float("inf")], [float("-inf")],
+         [-12.5], [-3.456], [-12345.6], [0.0]])
+    cells = [line.strip() for line in out.splitlines()[2:]]
+    assert cells == ["nan", "inf", "-inf", "-12.5", "-3.46", "-12346", "0"]
+
+
+def test_to_jsonable_handles_dataclasses_and_non_finite():
+    import json
+
+    from repro.bench import to_jsonable
+
+    r = RunResult(system="xenic", workload="w", concurrency=2,
+                  throughput_per_server=1.5, median_latency_us=float("nan"),
+                  p99_latency_us=float("inf"), mean_latency_us=2.0,
+                  commits=3, aborts=0, window_us=100.0,
+                  extra={"util": 0.5, "obj": object()})
+    out = to_jsonable([r, {"k": (1, 2)}, None, True])
+    json.dumps(out)  # everything must be serializable
+    assert out[0]["median_latency_us"] is None
+    assert out[0]["p99_latency_us"] is None
+    assert out[0]["mean_latency_us"] == 2.0
+    assert out[0]["extra"]["obj"].startswith("<object")
+    assert out[1] == {"k": [1, 2]}
+    assert out[2] is None and out[3] is True
+
+
+def test_write_results_json(tmp_path):
+    import json
+
+    from repro.bench import write_results_json
+
+    r = RunResult(system="xenic", workload="w", concurrency=2,
+                  throughput_per_server=1.0, median_latency_us=1.0,
+                  p99_latency_us=2.0, mean_latency_us=1.5,
+                  commits=3, aborts=0, window_us=100.0)
+    path = write_results_json(str(tmp_path / "out.json"), "exp", [r])
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc["experiment"] == "exp"
+    assert doc["results"][0]["system"] == "xenic"
+
+
+def test_workload_by_name():
+    from repro.bench import workload_by_name
+
+    wl = workload_by_name("smallbank", 3, seed=2)
+    assert isinstance(wl, Smallbank)
+    with pytest.raises(ValueError):
+        workload_by_name("nope", 3)
+
+
+def test_cli_trace_command_writes_valid_trace(tmp_path):
+    import json
+
+    from repro.__main__ import main
+
+    out = tmp_path / "t.json"
+    rc = main(["trace", "--workload", "smallbank", "--nodes", "3",
+               "--warmup", "30", "--window", "80", "--concurrency", "2",
+               "--trace-out", str(out)])
+    assert rc == 0
+    with open(out) as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"]
+    assert any(e["ph"] == "b" for e in events)  # txn spans
+    assert any(e["ph"] == "C" for e in events)  # counter samples
+    assert any(e.get("cat") == "fault" for e in events)  # default faults
+
+
+def test_cli_list_and_metrics(capsys, tmp_path):
+    import json
+
+    from repro.__main__ import main
+
+    assert main(["list"]) == 0
+    assert "trace" in capsys.readouterr().out
+    out = tmp_path / "m.json"
+    rc = main(["metrics", "--workload", "smallbank", "--nodes", "3",
+               "--warmup", "30", "--window", "80", "--concurrency", "2",
+               "--faults", "none", "--metrics-out", str(out)])
+    assert rc == 0
+    with open(out) as fh:
+        doc = json.load(fh)
+    assert doc["metrics"]["counters"]
+    assert doc["sampler_ticks"] > 0
+
+
 def test_retwis_runs_on_all_systems_quickly():
     for system in ("xenic", "drtmr"):
         bench = Bench(system, Retwis(3, keys_per_server=1500), n_nodes=3)

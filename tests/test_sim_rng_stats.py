@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.sim import (
     HotspotGenerator,
     LatencyRecorder,
+    LogHistogram,
     OnlineStats,
     RngStream,
     Simulator,
@@ -128,6 +129,35 @@ def test_online_stats_merge():
     assert a.variance == pytest.approx(ref.variance)
 
 
+def test_online_stats_merge_both_empty():
+    a, b = OnlineStats(), OnlineStats()
+    a.merge(b)
+    assert a.count == 0
+    assert a.mean == 0.0 and a.variance == 0.0
+
+
+def test_online_stats_merge_into_empty():
+    a, b = OnlineStats(), OnlineStats()
+    for x in (1.0, 2.0, 3.0):
+        b.add(x)
+    a.merge(b)
+    assert a.count == 3
+    assert a.mean == pytest.approx(2.0)
+    assert a.min == 1.0 and a.max == 3.0
+    # the source is not mutated
+    assert b.count == 3
+
+
+def test_online_stats_merge_empty_other_is_noop():
+    a, b = OnlineStats(), OnlineStats()
+    for x in (4.0, 6.0):
+        a.add(x)
+    a.merge(b)
+    assert a.count == 2
+    assert a.mean == pytest.approx(5.0)
+    assert a.min == 4.0 and a.max == 6.0
+
+
 @settings(max_examples=30, deadline=None)
 @given(xs=st.lists(st.floats(min_value=-1e6, max_value=1e6,
                              allow_nan=False), min_size=2, max_size=200))
@@ -140,6 +170,55 @@ def test_online_stats_property_matches_numpy(xs):
     assert s.mean == pytest.approx(float(np.mean(xs)), rel=1e-6, abs=1e-6)
     assert s.variance == pytest.approx(float(np.var(xs, ddof=1)),
                                        rel=1e-5, abs=1e-3)
+
+
+def test_log_histogram_exact_for_distinct_integers():
+    h = LogHistogram()
+    for i in range(1, 101):
+        h.add(float(i))
+    # growth=1.01 separates every integer <= 100 into its own bucket
+    assert h.percentile(50) == 50.0
+    assert h.percentile(99) == 99.0
+    assert h.percentile(0) == 1.0
+    assert h.percentile(100) == 100.0
+    assert h.mean == pytest.approx(50.5)
+    assert h.min == 1.0 and h.max == 100.0
+
+
+def test_log_histogram_relative_error_bounded():
+    h = LogHistogram()
+    rng = RngStream(9, "hist")
+    xs = sorted(rng.uniform(0.01, 1e6) for _ in range(2000))
+    for x in xs:
+        h.add(x)
+    for p in (10, 50, 90, 99):
+        exact = xs[max(0, math.ceil(p / 100 * len(xs)) - 1)]
+        assert h.percentile(p) == pytest.approx(exact, rel=0.02)
+
+
+def test_log_histogram_under_and_overflow():
+    h = LogHistogram(min_value=1.0, max_value=100.0)
+    h.add(0.5)     # underflow bucket
+    h.add(1e9)     # overflow bucket
+    assert h.count == 2
+    assert h.percentile(0) == 0.5
+    assert h.percentile(100) == 1e9
+    assert h.min == 0.5 and h.max == 1e9
+
+
+def test_log_histogram_validation_and_clear():
+    with pytest.raises(ValueError):
+        LogHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        LogHistogram(growth=1.0)
+    h = LogHistogram()
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+    h.add(5.0)
+    h.clear()
+    assert h.count == 0
+    assert h.percentile(50) == 0.0
+    assert h.mean == 0.0
 
 
 def test_latency_recorder_percentiles():

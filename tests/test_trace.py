@@ -74,6 +74,55 @@ def test_tracer_detach_restores_methods():
     assert proto.run_transaction == before  # bound method equality
 
 
+def test_two_tracers_stack_and_detach_in_either_order():
+    sim, cluster = make_cluster()
+    proto = cluster.protocols[0]
+    before = proto.run_transaction
+    t1 = Tracer(proto)
+    t2 = Tracer(proto)
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[1], write_keys=[1], logic=lambda r, s: {1: "a"}))
+    sim.run()
+    assert len(t1.traces) == 1 and len(t2.traces) == 1
+    # detach the FIRST-attached (inner) tracer while the outer stays live
+    t1.detach()
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[2], write_keys=[2], logic=lambda r, s: {2: "b"}))
+    sim.run()
+    assert len(t1.traces) == 1  # stopped recording
+    assert len(t2.traces) == 2  # still recording
+    t2.detach()
+    assert proto.run_transaction == before
+
+
+def test_tracer_reattach_after_detach():
+    sim, cluster = make_cluster()
+    proto = cluster.protocols[0]
+    tracer = Tracer(proto)
+    tracer.detach()
+    tracer.attach()
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[1], write_keys=[1], logic=lambda r, s: {1: "c"}))
+    sim.run()
+    assert len(tracer.traces) == 1
+    tracer.detach()
+
+
+def test_tracer_attach_and_detach_idempotent():
+    sim, cluster = make_cluster()
+    proto = cluster.protocols[0]
+    before = proto.run_transaction
+    tracer = Tracer(proto)
+    tracer.attach()  # second attach must not double-wrap
+    run_txn(sim, cluster, 0,
+            TxnSpec(read_keys=[1], write_keys=[1], logic=lambda r, s: {1: "d"}))
+    sim.run()
+    assert len(tracer.traces) == 1
+    tracer.detach()
+    tracer.detach()  # second detach is a no-op
+    assert proto.run_transaction == before
+
+
 def test_phase_sample_duration():
     s = PhaseSample("x", 1.0, 3.5)
     assert s.duration_us == 2.5
