@@ -58,7 +58,9 @@ from .bench import (
     offpath_comparison,
     offpath_platform_check,
     run_chaos,
+    run_chaos_seeds,
     set_default_faults,
+    set_default_jobs,
     set_default_obs,
     table1_cores,
     table2_lookup,
@@ -118,6 +120,12 @@ COMMANDS = {
 }
 
 
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan independent curves/seeds across N worker "
+                        "processes (results are identical to --jobs 1)")
+
+
 def _add_fault_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--faults", default=None, metavar="SPEC",
                    help="fault spec, e.g. 'drop=0.02,dup=0.01,delay=0.05:8' "
@@ -170,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser.add_argument("--keys", type=int, default=20000)
     all_parser.add_argument("--json", action="store_true",
                             help="write BENCH_<name>.json per experiment")
+    _add_jobs_arg(all_parser)
     _add_fault_args(all_parser)
     _add_obs_args(all_parser)
     for name, (help_text, _fn) in COMMANDS.items():
@@ -181,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="write machine-readable results to "
                             "BENCH_%s.json" % name)
+        _add_jobs_arg(p)
         _add_fault_args(p)
         _add_obs_args(p)
     chaos = sub.add_parser(
@@ -202,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit nonzero on any invariant violation")
     chaos.add_argument("--trace", action="store_true",
                        help="print the full fault trace of each run")
+    _add_jobs_arg(chaos)
     _add_obs_args(chaos)
     trace = sub.add_parser(
         "trace",
@@ -218,6 +229,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(metrics)
     metrics.add_argument("--metrics-out", default=None, metavar="FILE",
                          help="also write the metrics JSON dump")
+    perf = sub.add_parser(
+        "perf",
+        help="wall-clock performance of the simulator itself "
+             "(docs/PERFORMANCE.md)")
+    perf.add_argument("--full", action="store_true",
+                      help="larger op counts / windows")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="runs per bench; best wall time wins")
+    perf.add_argument("--bench", action="append", default=None,
+                      metavar="NAME", help="run only this bench "
+                      "(repeatable)")
+    perf.add_argument("--baseline", default=None, metavar="FILE",
+                      help="trajectory file to compare/append "
+                           "(default: BENCH_simperf.json)")
+    perf.add_argument("--check", action="store_true",
+                      help="exit nonzero on a regression beyond "
+                           "--max-regression")
+    perf.add_argument("--max-regression", type=float, default=2.0,
+                      metavar="X", help="allowed slowdown vs the baseline "
+                      "(default: %(default)s)")
+    perf.add_argument("--update", action="store_true",
+                      help="append this run to the trajectory file")
+    perf.add_argument("--label", default="", help="label for --update")
+    _add_jobs_arg(perf)
     return parser
 
 
@@ -289,10 +324,14 @@ def run_chaos_command(args) -> int:
     obs = bool(args.obs or args.trace_out)
     base, ext = (os.path.splitext(args.trace_out) if args.trace_out
                  else ("", ""))
-    for seed in range(args.seed, args.seed + args.seeds):
-        result = run_chaos(system=args.system, seed=seed,
-                           faults=args.faults, n_txns=args.txns,
-                           n_nodes=args.nodes, obs=obs)
+    seed_kwargs = [
+        dict(system=args.system, seed=seed, faults=args.faults,
+             n_txns=args.txns, n_nodes=args.nodes, obs=obs)
+        for seed in range(args.seed, args.seed + args.seeds)
+    ]
+    results = run_chaos_seeds(seed_kwargs, jobs=getattr(args, "jobs", 1))
+    for result in results:
+        seed = result.seed
         print(result)
         if args.trace and result.trace is not None and len(result.trace):
             print(result.trace.format())
@@ -309,6 +348,45 @@ def run_chaos_command(args) -> int:
     return 0
 
 
+def run_perf_command(args) -> int:
+    from .bench.perf import (BENCH_FILE, append_entry, baseline_entry,
+                             compare_entries, format_results,
+                             measure_scaling, run_perf)
+
+    quick = not args.full
+    path = args.baseline or BENCH_FILE
+    results = run_perf(quick=quick, repeats=args.repeats,
+                       benches=args.bench, verbose=False)
+    print(format_results(results))
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1:
+        s = measure_scaling(jobs, quick=quick)
+        print("scaling: %d curves, serial %.2fs, --jobs %d %.2fs "
+              "(%.2fx, results %s)"
+              % (s["curves"], s["serial_s"], s["jobs"], s["parallel_s"],
+                 s["speedup"],
+                 "identical" if s["identical"] else "DIFFER"))
+    base = baseline_entry(quick, path)
+    rc = 0
+    if base is not None:
+        failures = compare_entries(results, base,
+                                   max_regression=args.max_regression)
+        if failures:
+            for msg in failures:
+                print("REGRESSION %s" % msg)
+            if args.check:
+                rc = 1
+        else:
+            print("vs baseline %r: within %.1fx"
+                  % (base.get("label", "?"), args.max_regression))
+    elif args.check:
+        print("no baseline at matching scale in %s; recording one" % path)
+    if args.update or (args.check and base is None):
+        entry = append_entry(results, quick, path=path, label=args.label)
+        print("appended %r to %s" % (entry["label"], path))
+    return rc
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command in (None, "list"):
@@ -321,6 +399,8 @@ def main(argv=None) -> int:
                             "observed run -> Chrome trace export"))
         print("%-*s  %s" % (width, "metrics",
                             "observed run -> metrics summary"))
+        print("%-*s  %s" % (width, "perf",
+                            "wall-clock performance of the simulator"))
         return 0
     if args.command == "chaos":
         return run_chaos_command(args)
@@ -328,10 +408,13 @@ def main(argv=None) -> int:
         return run_trace_command(args)
     if args.command == "metrics":
         return run_metrics_command(args)
+    if args.command == "perf":
+        return run_perf_command(args)
     if getattr(args, "faults", None):
         set_default_faults(args.faults, args.fault_seed)
     if getattr(args, "obs", False) or getattr(args, "trace_out", None):
         set_default_obs(True)
+    set_default_jobs(getattr(args, "jobs", 1))
     try:
         if args.command == "all":
             for name, (help_text, fn) in COMMANDS.items():
@@ -351,6 +434,7 @@ def main(argv=None) -> int:
     finally:
         set_default_faults(None)
         set_default_obs(False)
+        set_default_jobs(1)
     return 0
 
 

@@ -21,6 +21,9 @@ from .experiments import (
     table3_thread_counts,
 )
 from .chaos import DEFAULT_CHAOS_FAULTS, ChaosResult, run_chaos
+from .parallel import (SweepSpec, default_jobs, run_chaos_seeds, run_sweeps,
+                       set_default_jobs)
+from .perf import run_perf
 from .report import format_table, print_curves, print_table
 from .runner import (Bench, RunResult, live_observers, run_point, run_sweep,
                      set_default_faults, set_default_obs, to_jsonable,
@@ -63,4 +66,10 @@ __all__ = [
     "to_jsonable",
     "write_results_json",
     "workload_by_name",
+    "SweepSpec",
+    "run_sweeps",
+    "run_chaos_seeds",
+    "set_default_jobs",
+    "default_jobs",
+    "run_perf",
 ]

@@ -446,15 +446,24 @@ def table2_lookup(n_keys: int = 200000, seed: int = 3,
 FIG8_SYSTEMS = ("xenic", "drtmh", "drtmh_nc", "fasst", "drtmr")
 
 
-def _fig8_sweep(workload_factory, concurrencies, systems=FIG8_SYSTEMS,
-                n_nodes=6, window_us=400.0, warmup_us=150.0,
-                verbose=False, title="") -> Dict[str, List[RunResult]]:
-    curves = {}
-    for system in systems:
-        curves[system] = run_sweep(
-            system, workload_factory, list(concurrencies),
-            n_nodes=n_nodes, window_us=window_us, warmup_us=warmup_us,
-        )
+def _fig8_sweep(workload, workload_kwargs, concurrencies,
+                systems=FIG8_SYSTEMS, n_nodes=6, window_us=400.0,
+                warmup_us=150.0, verbose=False, title="",
+                counted_label=None, network_gbps=None,
+                jobs=None) -> Dict[str, List[RunResult]]:
+    """Run one curve per system; independent curves fan out across a
+    process pool when ``--jobs`` (or ``jobs=``) asks for more than one."""
+    from .parallel import SweepSpec, run_sweeps
+
+    specs = [
+        SweepSpec(system=system, workload=workload,
+                  workload_kwargs=workload_kwargs,
+                  concurrencies=tuple(concurrencies), n_nodes=n_nodes,
+                  warmup_us=warmup_us, window_us=window_us,
+                  counted_label=counted_label, network_gbps=network_gbps)
+        for system in systems
+    ]
+    curves = dict(zip(systems, run_sweeps(specs, jobs=jobs)))
     if verbose:
         print_curves(title, curves)
     return curves
@@ -473,7 +482,7 @@ def figure8a_tpcc_new_order(quick: bool = True, verbose: bool = False,
              customers_per_warehouse=60)
     conc = (2, 8, 24, 64) if quick else (2, 8, 24, 64, 112, 176)
     return _fig8_sweep(
-        lambda: TpccNewOrder(n_nodes, **scale), conc, systems=systems,
+        "tpcc_no", scale, conc, systems=systems,
         n_nodes=n_nodes, window_us=600.0,
         verbose=verbose, title="Figure 8a: TPC-C New-Order",
     )
@@ -493,28 +502,14 @@ def figure8b_tpcc_full(quick: bool = True, verbose: bool = False,
         dict(warehouses_per_server=72, stock_per_warehouse=500,
              customers_per_warehouse=100)
     conc = (2, 8, 24, 64) if quick else (2, 8, 24, 64, 112, 176)
-
-    def factory():
-        wl = TpccFull(n_nodes, **scale)
-        wl.counted_label = "new_order"
-        return wl
-
     if network_gbps is None:
         network_gbps = 12.0 if quick else 56.0
-    hardware = None
-    if network_gbps != 100.0:
-        from ..hw.params import testbed_params
-
-        hardware = testbed_params(network_gbps)
-    curves = {}
-    for system in systems:
-        curves[system] = run_sweep(
-            system, factory, list(conc), n_nodes=n_nodes,
-            window_us=800.0, hardware=hardware,
-        )
-    if verbose:
-        print_curves("Figure 8b: TPC-C full mix (new-orders/s)", curves)
-    return curves
+    return _fig8_sweep(
+        "tpcc", scale, conc, systems=systems, n_nodes=n_nodes,
+        window_us=800.0, counted_label="new_order",
+        network_gbps=network_gbps, verbose=verbose,
+        title="Figure 8b: TPC-C full mix (new-orders/s)",
+    )
 
 
 def figure8c_retwis(quick: bool = True, verbose: bool = False,
@@ -523,7 +518,7 @@ def figure8c_retwis(quick: bool = True, verbose: bool = False,
     keys = 20000 if quick else 50000
     conc = (2, 8, 32, 96) if quick else (2, 8, 32, 96, 160, 256)
     return _fig8_sweep(
-        lambda: Retwis(n_nodes, keys_per_server=keys), conc,
+        "retwis", dict(keys_per_server=keys), conc,
         systems=systems, n_nodes=n_nodes,
         verbose=verbose, title="Figure 8c: Retwis",
     )
@@ -535,8 +530,8 @@ def figure8d_smallbank(quick: bool = True, verbose: bool = False,
     accounts = 8000 if quick else 20000
     conc = (2, 16, 64, 160) if quick else (2, 16, 64, 160, 320, 512)
     return _fig8_sweep(
-        lambda: Smallbank(n_nodes, accounts_per_server=accounts,
-                          hot_keys_fraction=0.25), conc,
+        "smallbank",
+        dict(accounts_per_server=accounts, hot_keys_fraction=0.25), conc,
         systems=systems, n_nodes=n_nodes,
         verbose=verbose, title="Figure 8d: Smallbank",
     )

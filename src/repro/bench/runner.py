@@ -322,7 +322,7 @@ class Bench:
             extra["host_util"] = sum(
                 n.host_cores.utilization() for n in nodes) / len(nodes)
             extra["wire_util"] = sum(
-                n.rdma._wire.utilization() for n in nodes) / len(nodes)
+                n.rdma.utilization() for n in nodes) / len(nodes)
         return extra
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Optional
 
-from ..sim.core import Event, Simulator
+from ..sim.core import Event, Simulator, Timeout
 from ..sim.resources import Resource
 from .params import CpuParams, XEON_GOLD_5218
 
@@ -42,6 +42,8 @@ class CoreGroup:
             raise ValueError("need at least one core")
         self.name = name or params.name
         self.pool = Resource(sim, self.cores, name=self.name)
+        self._job_name = "%s.job" % self.name
+        self._exec_name = "%s.exec" % self.name
         # scale factor: >1 means these cores are slower than the reference
         self.slowdown = reference.coremark_per_thread / params.coremark_per_thread
         self.jobs_executed = 0
@@ -70,8 +72,8 @@ class CoreGroup:
 
     def execute(self, ref_us: float) -> Event:
         """Queue a job; event fires on completion."""
-        done = self.sim.event(name="%s.job" % self.name)
-        self.sim.spawn(self._run(ref_us, done), name="%s.exec" % self.name)
+        done = Event(self.sim, self._job_name)
+        self.sim.spawn(self._run(ref_us, done), name=self._exec_name)
         return done
 
     def execute_wall(self, wall_us: float) -> Event:
@@ -84,7 +86,8 @@ class CoreGroup:
         return self.run(wall_us / self.slowdown)
 
     def _run(self, ref_us: float, done: Event):
-        yield self.pool.acquire()
+        if not self.pool.try_acquire():
+            yield self.pool.acquire()
         sink = self.obs_sink
         slot = heappop(self._obs_free) if (sink is not None and self._obs_free) else None
         start = self.sim.now
@@ -105,9 +108,22 @@ class CoreGroup:
 
     def run(self, ref_us: float):
         """Generator form for use inside a process: ``yield from cores.run(w)``."""
-        yield self.pool.acquire()
+        if not self.pool.try_acquire():
+            yield self.pool.acquire()
         sink = self.obs_sink
-        slot = heappop(self._obs_free) if (sink is not None and self._obs_free) else None
+        if sink is None:
+            # Hot path: no span bookkeeping, no try/finally frame setup
+            # beyond the one needed for correct release on interrupt.
+            service = ref_us * self.slowdown
+            self.jobs_executed += 1
+            self.busy_us += service
+            try:
+                if service > 0:
+                    yield Timeout(self.sim, service)
+            finally:
+                self.pool.release()
+            return
+        slot = heappop(self._obs_free) if self._obs_free else None
         start = self.sim.now
         try:
             service = self.service_us(ref_us)
@@ -116,11 +132,10 @@ class CoreGroup:
             if service > 0:
                 yield self.sim.timeout(service)
         finally:
-            if sink is not None:
-                sink.core_job(self._obs_node, self._obs_track, slot,
-                              start, self.sim.now)
-                if slot is not None:
-                    heappush(self._obs_free, slot)
+            sink.core_job(self._obs_node, self._obs_track, slot,
+                          start, self.sim.now)
+            if slot is not None:
+                heappush(self._obs_free, slot)
             self.pool.release()
 
     def utilization(self, since: float = 0.0) -> float:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from ..sim.core import Event, Simulator
+from ..sim.core import Event, Simulator, Timeout
 from ..sim.link import SerialLink
 from ..sim.stats import OnlineStats
 from .params import DmaParams
@@ -54,6 +54,7 @@ class DmaEngine:
         self.sim = sim
         self.params = params or DmaParams()
         self.name = name
+        self._vector_name = "%s.vector" % name
         self._queue_busy_until = [0.0] * self.params.queues
         self._rr = 0
         self.pcie = SerialLink(
@@ -114,12 +115,20 @@ class DmaEngine:
         self.vector_sizes.add(len(ops))
 
         # Pick the earliest-free queue (ties broken round-robin).
-        q = min(range(len(self._queue_busy_until)),
-                key=lambda i: (self._queue_busy_until[i], (i - self._rr) % len(self._queue_busy_until)))
-        self._rr = (q + 1) % len(self._queue_busy_until)
+        busy = self._queue_busy_until
+        nq = len(busy)
+        rr = self._rr
+        q = 0
+        best = (busy[0], (0 - rr) % nq)
+        for i in range(1, nq):
+            cand = (busy[i], (i - rr) % nq)
+            if cand < best:
+                best = cand
+                q = i
+        self._rr = (q + 1) % nq
 
-        start = max(now, self._queue_busy_until[q])
-        all_done = self.sim.event(name="%s.vector" % self.name)
+        start = max(now, busy[q])
+        all_done = Event(self.sim, self._vector_name)
         pending = [len(ops)]
 
         # The queue is *occupied* for the descriptor-processing time
@@ -143,9 +152,8 @@ class DmaEngine:
                 else self.params.write_completion_us
             )
             total_delay = finish_delay + completion
-            timer = self.sim.timeout(total_delay)
-            timer.add_callback(
-                lambda _e, op=op, d=total_delay: self._complete(op, all_done, pending, d)
+            Timeout(self.sim, total_delay).add_callback(
+                lambda _e, op=op: self._complete(op, all_done, pending)
             )
         return all_done
 
@@ -160,7 +168,7 @@ class DmaEngine:
         self.pcie.transfers += 1
         return (start + dur) - now
 
-    def _complete(self, op: DmaOp, all_done: Event, pending: List[int], delay: float) -> None:
+    def _complete(self, op: DmaOp, all_done: Event, pending: List[int]) -> None:
         op.completed_at = self.sim.now
         latency = op.completed_at - op.submitted_at
         (self.read_latency if op.is_read else self.write_latency).add(latency)
@@ -175,11 +183,9 @@ class DmaEngine:
     # Convenience single-op helpers ---------------------------------------
 
     def read(self, nbytes: int) -> Event:
-        op = DmaOp(size=nbytes, is_read=True, done=self.sim.event())
-        self.submit([op])
-        return op.done
+        # For a single-op vector the vector-completion event *is* the op's
+        # completion; no per-op done event needed.
+        return self.submit([DmaOp(size=nbytes, is_read=True)])
 
     def write(self, nbytes: int) -> Event:
-        op = DmaOp(size=nbytes, is_read=False, done=self.sim.event())
-        self.submit([op])
-        return op.done
+        return self.submit([DmaOp(size=nbytes, is_read=False)])

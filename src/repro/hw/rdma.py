@@ -96,12 +96,28 @@ class RdmaNic:
             ),
         }
         self.ops = {READ: 0, WRITE: 0, ATOMIC: 0, SEND: 0}
+        self._verb_names = {v: "%s.%s" % (self.name, v)
+                            for v in (READ, WRITE, ATOMIC)}
+        self._rpc_name = "%s.rpc" % self.name
         # Optional fault injector (repro.sim.faults): transient verb
         # failures retried by the RC transport, each paying a timeout.
         self.injector = None
         self.retries = 0
         # Verbs issued but not yet completed (gauge source for repro.obs).
         self.inflight = 0
+
+    # -- introspection ----------------------------------------------------
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean wire (payload-bandwidth) utilization over [since, now] —
+        the public accessor benches and observers should use instead of
+        reaching into the private ``_wire`` link."""
+        return self._wire.utilization(since)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total payload bytes this NIC has put on the wire."""
+        return self._wire.bytes_transferred
 
     # -- one-sided verbs ---------------------------------------------------
 
@@ -133,11 +149,12 @@ class RdmaNic:
             out_bytes = _ATOMIC_DESC + self.params.per_op_wire_bytes
             back_bytes = size + self.params.per_op_wire_bytes
 
-        done = self.sim.event(name="%s.%s" % (self.name, verb))
+        name = self._verb_names[verb]
+        done = self.sim.event(name=name)
         self.sim.spawn(
             self._one_sided_proc(target, verb, out_bytes, back_bytes, done,
                                  on_target),
-            name="%s.%s" % (self.name, verb),
+            name=name,
         )
         return done
 
@@ -187,11 +204,11 @@ class RdmaNic:
         if target.host_cores is None:
             raise RuntimeError("target %s has no host cores attached" % target.name)
         self.ops[SEND] += 1
-        done = self.sim.event(name="%s.rpc" % self.name)
+        done = self.sim.event(name=self._rpc_name)
         self.sim.spawn(
             self._rpc_proc(target, req_size, resp_size, handler_ref_us, done,
                            on_target),
-            name="%s.rpc" % self.name,
+            name=self._rpc_name,
         )
         return done
 

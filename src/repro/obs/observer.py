@@ -160,7 +160,7 @@ class Observer:
             self._gauge(comp, "rdma_inflight",
                         lambda r=node.rdma: r.inflight)
             self._gauge(comp, "rdma_wire_utilization",
-                        lambda r=node.rdma: r._wire.utilization())
+                        lambda r=node.rdma: r.utilization())
         for proto in cluster.protocols:
             proto.obs = self
             self._protocols.append(proto)
@@ -243,7 +243,7 @@ class Observer:
                 for verb in sorted(rdma.ops):
                     reg.counter(comp, "rdma_ops", verb=verb).value = rdma.ops[verb]
                 reg.counter(comp, "rdma_retries").value = rdma.retries
-                reg.counter(comp, "rdma_wire_bytes").value = rdma._wire.bytes_transferred
+                reg.counter(comp, "rdma_wire_bytes").value = rdma.wire_bytes
         if hasattr(cluster, "fabric"):
             reg.counter("cluster", "fabric_messages_total").value = \
                 cluster.fabric.messages_delivered

@@ -9,6 +9,17 @@ the :class:`AllOf` / :class:`AnyOf` combinators.
 Determinism: events scheduled for the same timestamp fire in FIFO order of
 scheduling (a monotonically increasing sequence number breaks ties), so a
 simulation driven by seeded RNG streams is exactly reproducible.
+
+Hot-path notes (see ``docs/PERFORMANCE.md``): events store their first
+callback in a dedicated slot so the common single-waiter case allocates no
+list; :class:`Timeout` bypasses the generic constructor and the
+schedule-in-the-past check; abandoned timeouts (:class:`AnyOf` losers,
+interrupted waits) are cancelled and lazily deleted from the heap, with a
+periodic in-place compaction once cancelled entries dominate; and
+:meth:`Simulator.run` dispatches scheduled events through an inlined loop
+with no per-event attribute lookups for observability — a per-event hook
+exists (:meth:`Simulator.set_event_hook`) but is checked once per ``run``
+call, never inside the loop, so disabled observability is zero-overhead.
 """
 
 from __future__ import annotations
@@ -26,6 +37,12 @@ __all__ = [
     "Interrupt",
     "SimulationError",
 ]
+
+# Once at least this many cancelled entries sit in the heap AND they make
+# up at least half of it, the scheduler compacts in place.  High enough
+# that small simulations never compact (preserving their exact final-clock
+# behavior), low enough that AnyOf-heavy workloads stay O(live events).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
@@ -51,13 +68,18 @@ class Event:
     *failed* with an exception, exactly once.  Callbacks registered before
     triggering run when the event fires; callbacks registered after it has
     fired run immediately.
+
+    The first callback lives in ``_cb0``; only a second registration
+    allocates the overflow list, so the ubiquitous one-waiter events
+    (timeouts, transfers, resource grants) never build a list at all.
     """
 
-    __slots__ = ("sim", "_callbacks", "_ok", "_value", "_name")
+    __slots__ = ("sim", "_cb0", "_callbacks", "_ok", "_value", "_name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
-        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._cb0: Optional[Callable[["Event"], None]] = None
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = None
         self._ok: Optional[bool] = None
         self._value: Any = None
         self._name = name
@@ -72,10 +94,23 @@ class Event:
         return self._ok is True
 
     @property
+    def cancelled(self) -> bool:
+        """True if the event was abandoned via :meth:`cancel`."""
+        return self._ok is False and self._value is _CANCELLED
+
+    @property
     def value(self) -> Any:
         if self._ok is None:
             raise SimulationError("event %r has not been triggered" % (self._name,))
         return self._value
+
+    @property
+    def callback_count(self) -> int:
+        """Callbacks currently registered (0 once triggered)."""
+        n = 0 if self._cb0 is None else 1
+        if self._callbacks:
+            n += len(self._callbacks)
+        return n
 
     def succeed(self, value: Any = None) -> "Event":
         if self._ok is not None:
@@ -95,16 +130,71 @@ class Event:
         self._dispatch()
         return self
 
+    def cancel(self) -> bool:
+        """Abandon a pending event: it will never fire and its heap entry
+        (if any) is discarded lazily by the scheduler.
+
+        Only events with no registered callbacks may be cancelled — a
+        cancelled event dispatches nothing, so a live waiter would hang
+        forever.  Returns False if the event has already triggered.
+        """
+        if self._ok is not None:
+            return False
+        if self._cb0 is not None or self._callbacks:
+            raise SimulationError(
+                "cannot cancel %r: %d callback(s) still registered"
+                % (self._name, self.callback_count))
+        self._ok = False
+        self._value = _CANCELLED
+        return True
+
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when this event fires (immediately if fired)."""
         if self._ok is None:
-            assert self._callbacks is not None
-            self._callbacks.append(fn)
+            if self._cb0 is None:
+                self._cb0 = fn
+            elif self._callbacks is None:
+                self._callbacks = [fn]
+            else:
+                self._callbacks.append(fn)
         else:
             fn(self)
 
+    def remove_callback(self, fn: Callable[["Event"], None]) -> bool:
+        """Detach a previously registered callback; no-op after trigger.
+
+        Comparison uses ``==`` so equivalent bound methods match.  Returns
+        True if a callback was removed.
+        """
+        if self._ok is not None:
+            return False
+        if self._cb0 == fn:
+            cbs = self._callbacks
+            if cbs:
+                self._cb0 = cbs.pop(0)
+                if not cbs:
+                    self._callbacks = None
+            else:
+                self._cb0 = None
+            return True
+        cbs = self._callbacks
+        if cbs is not None:
+            try:
+                cbs.remove(fn)
+            except ValueError:
+                return False
+            if not cbs:
+                self._callbacks = None
+            return True
+        return False
+
     def _dispatch(self) -> None:
-        callbacks, self._callbacks = self._callbacks, None
+        cb0 = self._cb0
+        callbacks = self._callbacks
+        self._cb0 = None
+        self._callbacks = None
+        if cb0 is not None:
+            cb0(self)
         if callbacks:
             for fn in callbacks:
                 fn(self)
@@ -112,6 +202,11 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending" if self._ok is None else ("ok" if self._ok else "failed")
         return "<Event %s %s>" % (self._name or hex(id(self)), state)
+
+
+# Sentinel value of a cancelled event; never handed to user code because a
+# cancelled event has no callbacks and is skipped by the scheduler.
+_CANCELLED = SimulationError("event cancelled")
 
 
 class Timeout(Event):
@@ -122,60 +217,113 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError("negative timeout delay: %r" % (delay,))
-        super().__init__(sim, name="timeout")
+        # Fast path: bypass Event.__init__ and _schedule_at (delay >= 0
+        # means the deadline can never be in the past).
+        self.sim = sim
+        self._cb0 = None
+        self._callbacks = None
+        self._ok = None
+        self._value = None
+        self._name = "timeout"
         self.delay = delay
-        sim._schedule_at(sim.now + delay, self, value)
+        sim._seq += 1
+        heapq.heappush(sim._queue, (sim._now + delay, sim._seq, self, value))
+
+    def cancel(self) -> bool:
+        if not Event.cancel(self):
+            return False
+        self.sim._note_cancelled()
+        return True
 
 
 class AllOf(Event):
     """Fires once every child event has succeeded; value is the list of
     child values in the original order.  Fails fast on the first child
-    failure."""
+    failure, detaching from (and unpinning) the still-pending children."""
 
-    __slots__ = ("_pending", "_children")
+    __slots__ = ("_pending", "_children", "_child_cb")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, name="all_of")
         self._children = list(events)
         self._pending = len(self._children)
+        self._child_cb = self._on_child
         if self._pending == 0:
             self.succeed([])
             return
         for ev in self._children:
-            ev.add_callback(self._on_child)
+            if self._ok is not None:
+                # fail-fast already triggered by an immediate child; do
+                # not register on (and thereby pin) the rest
+                break
+            ev.add_callback(self._child_cb)
 
     def _on_child(self, ev: Event) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
         if not ev.ok:
             self.fail(ev.value)
+            self._detach_children()
             return
         self._pending -= 1
         if self._pending == 0:
             self.succeed([c.value for c in self._children])
 
+    def _detach_children(self) -> None:
+        cb = self._child_cb
+        for child in self._children:
+            if child._ok is None:
+                child.remove_callback(cb)
+                if type(child) is Timeout and child._cb0 is None \
+                        and not child._callbacks:
+                    child.cancel()
+
 
 class AnyOf(Event):
     """Fires when the first child event triggers; value is ``(index, value)``
-    of the winning child."""
+    of the winning child.  Losing children are detached so the combinator
+    pins neither them nor their values, and losing timeouts are cancelled
+    out of the scheduler heap."""
 
-    __slots__ = ("_children",)
+    __slots__ = ("_children", "_child_cbs")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, name="any_of")
         self._children = list(events)
+        self._child_cbs: List[Optional[Callable]] = []
         if not self._children:
             raise ValueError("AnyOf requires at least one event")
         for i, ev in enumerate(self._children):
-            ev.add_callback(lambda e, i=i: self._on_child(i, e))
+            if self._ok is not None:
+                # a child triggered immediately during registration; the
+                # rest are losers and must not be pinned at all
+                break
+            cb = lambda e, i=i: self._on_child(i, e)  # noqa: E731
+            self._child_cbs.append(cb)
+            ev.add_callback(cb)
 
     def _on_child(self, index: int, ev: Event) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
         if ev.ok:
             self.succeed((index, ev.value))
         else:
             self.fail(ev.value)
+        self._detach_losers()
+
+    def _detach_losers(self) -> None:
+        for child, cb in zip(self._children, self._child_cbs):
+            if child._ok is None:
+                child.remove_callback(cb)
+                if type(child) is Timeout and child._cb0 is None \
+                        and not child._callbacks:
+                    child.cancel()
+        self._child_cbs = []
+
+
+def _raise(exc: BaseException) -> None:
+    """throw() shim for processes built from plain iterators."""
+    raise exc
 
 
 class Process(Event):
@@ -183,16 +331,29 @@ class Process(Event):
     return value when the generator completes, or fails with its uncaught
     exception."""
 
-    __slots__ = ("_gen", "_waiting_on")
+    __slots__ = ("_gen", "_waiting_on", "_send", "_gthrow", "_wait_cb")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
+        # Bind the generator's send/throw and our wait callback once: the
+        # resume path runs once per yield across the whole simulation, and
+        # each `self._gen.send` / `self._on_wait_done` attribute access
+        # would allocate a fresh bound method.  Plain iterators (no
+        # coroutine protocol) still work through next()/raise shims.
+        try:
+            self._send = gen.send
+            self._gthrow = gen.throw
+        except AttributeError:
+            self._send = lambda _v: next(gen)
+            self._gthrow = _raise
+        self._wait_cb = self._on_wait_done
         self._waiting_on: Optional[Event] = None
         # Start on the next scheduler step so the spawner can keep a handle.
         start = Event(sim, name="start")
-        start.add_callback(self._resume)
-        sim._schedule_at(sim.now, start, None)
+        start._cb0 = self._resume
+        sim._seq += 1
+        heapq.heappush(sim._queue, (sim._now, sim._seq, start, None))
 
     @property
     def alive(self) -> bool:
@@ -206,34 +367,60 @@ class Process(Event):
         if self.triggered:
             return
         ev = Event(self.sim, name="interrupt")
-        ev.add_callback(lambda _e: self._throw(Interrupt(cause)))
-        self.sim._schedule_at(self.sim.now, ev, None)
+        ev._cb0 = lambda _e: self._throw(Interrupt(cause))
+        self.sim._schedule_at(self.sim._now, ev, None)
 
     # -- internal ---------------------------------------------------------
 
     def _resume(self, ev: Event) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
         self._waiting_on = None
         try:
-            if ev.ok:
-                target = self._gen.send(ev.value)
+            if ev._ok:
+                target = self._send(ev._value)
             else:
-                target = self._gen.throw(ev.value)
+                target = self._gthrow(ev._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate to waiters
             self.fail(exc)
             return
-        self._wait_for(target)
+        # Inlined _wait_for: this runs once per yield across the whole
+        # simulation, so the callback registration is open-coded.
+        if isinstance(target, Event):
+            self._waiting_on = target
+            if target._ok is None:
+                if target._cb0 is None:
+                    target._cb0 = self._wait_cb
+                elif target._callbacks is None:
+                    target._callbacks = [self._wait_cb]
+                else:
+                    target._callbacks.append(self._wait_cb)
+            else:
+                self._resume(target)  # already triggered: continue now
+        else:
+            self.fail(
+                SimulationError(
+                    "process %r yielded a non-event: %r" % (self._name, target)
+                )
+            )
 
     def _throw(self, exc: BaseException) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return
+        # Detach from the event we were waiting on: the stale wakeup can
+        # no longer resume us, and an abandoned timeout leaves the heap.
+        prev = self._waiting_on
         self._waiting_on = None
+        if prev is not None and prev._ok is None:
+            prev.remove_callback(self._wait_cb)
+            if type(prev) is Timeout and prev._cb0 is None \
+                    and not prev._callbacks:
+                prev.cancel()
         try:
-            target = self._gen.throw(exc)
+            target = self._gthrow(exc)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -251,7 +438,7 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        target.add_callback(self._on_wait_done)
+        target.add_callback(self._wait_cb)
 
     def _on_wait_done(self, ev: Event) -> None:
         # Ignore stale wakeups from events we stopped waiting on
@@ -282,6 +469,8 @@ class Simulator:
         self._queue: List = []  # heap of (time, seq, event, value)
         self._seq = 0
         self._processes_spawned = 0
+        self._cancelled = 0  # cancelled entries still sitting in the heap
+        self._hook: Optional[Callable[[Event, float, Any], None]] = None
 
     @property
     def now(self) -> float:
@@ -294,6 +483,12 @@ class Simulator:
         closed discrete-event simulation no process can run again."""
         return len(self._queue)
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total heap entries pushed so far (the perf harness's
+        events/second numerator)."""
+        return self._seq
+
     # -- scheduling -------------------------------------------------------
 
     def _schedule_at(self, when: float, event: Event, value: Any) -> None:
@@ -303,6 +498,31 @@ class Simulator:
             )
         self._seq += 1
         heapq.heappush(self._queue, (when, self._seq, event, value))
+
+    def _note_cancelled(self) -> None:
+        """Count one more cancelled heap entry; compact once they dominate.
+
+        Compaction filters in place (the heap list object must keep its
+        identity — ``run`` holds a local reference to it) and drops every
+        already-triggered entry, cancelled or stale.
+        """
+        self._cancelled += 1
+        queue = self._queue
+        if (self._cancelled >= _COMPACT_MIN_CANCELLED
+                and 2 * self._cancelled >= len(queue)):
+            queue[:] = [entry for entry in queue if entry[2]._ok is None]
+            heapq.heapify(queue)
+            self._cancelled = 0
+
+    def set_event_hook(
+        self, hook: Optional[Callable[[Event, float, Any], None]]
+    ) -> None:
+        """Install ``hook(event, when, value)``, called for every scheduled
+        entry the loop fires (debug/observability aid).  When no hook is
+        installed — the default — the run loop takes an inlined fast path
+        that never looks the hook up per event, so disabled observability
+        costs nothing."""
+        self._hook = hook
 
     def event(self, name: str = "") -> Event:
         return Event(self, name)
@@ -323,33 +543,112 @@ class Simulator:
 
     # -- execution --------------------------------------------------------
 
+    def _fire(self, event: Event, value: Any) -> None:
+        """Trigger one scheduled entry (slow path: step / hooked runs)."""
+        if self._hook is not None:
+            self._hook(event, self._now, value)
+        event._ok = True
+        event._value = value
+        event._dispatch()
+
     def step(self) -> bool:
         """Process one scheduled entry; returns False if the queue is empty."""
-        while self._queue:
-            when, _seq, event, value = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            when, _seq, event, value = heapq.heappop(queue)
             self._now = when
-            if event.triggered:
+            if event._ok is not None:
                 # A Timeout that was abandoned (e.g. AnyOf loser) cannot be
                 # re-triggered; skip it.
                 continue
-            event.succeed(value)
+            self._fire(event, value)
+            return True
+        return False
+
+    def _step_bounded(self, until: float) -> bool:
+        """Fire the next live entry if it is due at or before ``until``;
+        stale entries up to ``until`` are discarded (advancing the clock,
+        like :meth:`step`) but a live entry past ``until`` is left queued."""
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            when = head[0]
+            if when > until:
+                return False
+            heapq.heappop(queue)
+            self._now = when
+            event = head[2]
+            if event._ok is not None:
+                continue
+            self._fire(event, head[3])
             return True
         return False
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains, or until simulated time ``until``.
 
-        Returns the simulated time at which execution stopped.
+        Returns the simulated time at which execution stopped: the last
+        event time when draining, exactly ``until`` otherwise.  Events
+        scheduled past ``until`` are never fired — not even when stale
+        abandoned entries precede them in the heap.
         """
+        queue = self._queue
+        pop = heapq.heappop
         if until is None:
-            while self.step():
-                pass
+            if self._hook is not None:
+                while self.step():
+                    pass
+                return self._now
+            while queue:
+                when, _seq, event, value = pop(queue)
+                self._now = when
+                if event._ok is None:
+                    event._ok = True
+                    event._value = value
+                    cb0 = event._cb0
+                    callbacks = event._callbacks
+                    if cb0 is not None:
+                        event._cb0 = None
+                        event._callbacks = None
+                        cb0(event)
+                        if callbacks:
+                            for fn in callbacks:
+                                fn(event)
+                    elif callbacks:
+                        event._callbacks = None
+                        for fn in callbacks:
+                            fn(event)
             return self._now
         if until < self._now:
             raise SimulationError("until=%r is in the past" % (until,))
-        while self._queue and self._queue[0][0] <= until:
-            self.step()
-        self._now = max(self._now, until) if self._queue else max(self._now, until)
+        if self._hook is not None:
+            while self._step_bounded(until):
+                pass
+        else:
+            while queue:
+                head = queue[0]
+                when = head[0]
+                if when > until:
+                    break
+                pop(queue)
+                self._now = when
+                event = head[2]
+                if event._ok is None:
+                    event._ok = True
+                    event._value = head[3]
+                    cb0 = event._cb0
+                    callbacks = event._callbacks
+                    event._cb0 = None
+                    event._callbacks = None
+                    if cb0 is not None:
+                        cb0(event)
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(event)
+        # The loop only fires entries <= until, so the clock never
+        # overruns; land exactly on the boundary in both queue states.
+        if self._now < until:
+            self._now = until
         return self._now
 
     def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:

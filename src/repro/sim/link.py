@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Optional, Tuple
 
-from .core import Event, Simulator
+from .core import Event, Simulator, Timeout
 from .stats import OnlineStats
 
 __all__ = ["SerialLink", "BatchingLink"]
@@ -53,10 +53,14 @@ class SerialLink:
         return nbytes / (self.bandwidth_gbps * 125.0)
 
     def transfer(self, nbytes: int) -> Event:
-        """Schedule a transfer; the event fires at delivery time."""
-        now = self.sim.now
-        start = max(now, self._busy_until)
-        duration = self.overhead_us + self.serialization_us(nbytes)
+        """Schedule a transfer; the event fires at delivery time.
+
+        The returned event is the delivery timeout itself — no separate
+        completion event is allocated (hot path: one heap entry, zero
+        callbacks until a waiter registers)."""
+        now = self.sim._now
+        start = now if now > self._busy_until else self._busy_until
+        duration = self.overhead_us + nbytes / (self.bandwidth_gbps * 125.0)
         if self.injector is not None:
             stall = self.injector.link_stall_us(self)
             if stall > 0.0:
@@ -65,11 +69,8 @@ class SerialLink:
         self._busy_until = start + duration
         self.bytes_transferred += nbytes
         self.transfers += 1
-        done = self.sim.event(name="%s.xfer" % self.name)
-        delay = (self._busy_until - now) + self.propagation_us
-        ev = self.sim.timeout(delay)
-        ev.add_callback(lambda _e: done.succeed())
-        return done
+        return Timeout(self.sim,
+                       (self._busy_until - now) + self.propagation_us)
 
     def utilization(self, since: float = 0.0) -> float:
         span = self.sim.now - since

@@ -36,6 +36,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._acquire_name = "%s.acquire" % name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
         # Time-weighted busy accounting for utilization reports.
@@ -55,9 +56,22 @@ class Resource:
         self._busy_area += self._in_use * (now - self._last_change)
         self._last_change = now
 
+    def try_acquire(self) -> bool:
+        """Grab a free slot without allocating an event; returns False if
+        the caller must fall back to :meth:`acquire` and wait.  This is the
+        hot-path front door: ``if not r.try_acquire(): yield r.acquire()``.
+        """
+        if self._in_use < self.capacity and not self._waiters:
+            now = self.sim._now
+            self._busy_area += self._in_use * (now - self._last_change)
+            self._last_change = now
+            self._in_use += 1
+            return True
+        return False
+
     def acquire(self) -> Event:
         """Returns an event that fires when a slot is granted."""
-        ev = self.sim.event(name="%s.acquire" % self.name)
+        ev = Event(self.sim, self._acquire_name)
         if self._in_use < self.capacity and not self._waiters:
             self._account()
             self._in_use += 1
@@ -98,6 +112,7 @@ class Semaphore:
             raise ValueError("initial count must be >= 0")
         self.sim = sim
         self.name = name
+        self._down_name = "%s.down" % name
         self._count = initial
         self._waiters: Deque[Event] = deque()
 
@@ -106,7 +121,7 @@ class Semaphore:
         return self._count
 
     def down(self) -> Event:
-        ev = self.sim.event(name="%s.down" % self.name)
+        ev = Event(self.sim, self._down_name)
         if self._count > 0 and not self._waiters:
             self._count -= 1
             ev.succeed()
@@ -133,6 +148,8 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._put_name = "%s.put" % name
+        self._get_name = "%s.get" % name
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple] = deque()  # (event, item) pairs
@@ -142,7 +159,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Returns an event that fires when the item has been enqueued."""
-        ev = self.sim.event(name="%s.put" % self.name)
+        ev = Event(self.sim, self._put_name)
         if self._getters:
             self._getters.popleft().succeed(item)
             ev.succeed()
@@ -165,7 +182,7 @@ class Store:
 
     def get(self) -> Event:
         """Returns an event whose value is the dequeued item."""
-        ev = self.sim.event(name="%s.get" % self.name)
+        ev = Event(self.sim, self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
             self._admit_putter()

@@ -1,0 +1,224 @@
+"""Regression tests for the event-loop hot-path work: run(until)
+boundary semantics with stale heap entries, combinator detach/cancel
+behavior, lazy heap deletion + compaction, and the resource fast path."""
+
+import pytest
+
+from repro.sim.core import (AllOf, AnyOf, SimulationError, Simulator,
+                            Timeout)
+from repro.sim.resources import Resource
+
+
+# ---------------------------------------------------------------------------
+# run(until=...) boundary
+# ---------------------------------------------------------------------------
+
+
+def test_run_until_not_overrun_by_stale_entries():
+    """A cancelled (stale) entry at t <= until must not make run(until)
+    fire a live event scheduled *past* until: the clock lands exactly on
+    until and the later event stays pending."""
+    sim = Simulator()
+    fired = []
+
+    stale = Timeout(sim, 3.0)
+    assert stale.cancel()
+
+    def proc():
+        yield Timeout(sim, 10.0)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert not fired
+    assert sim.pending_events >= 1  # the live t=10 event is still queued
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_run_until_fires_event_exactly_at_boundary():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield Timeout(sim, 5.0)
+        fired.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert fired == [5.0]
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+# ---------------------------------------------------------------------------
+# combinator detach / no double dispatch
+# ---------------------------------------------------------------------------
+
+
+def test_anyof_winner_detaches_and_cancels_losing_timeout():
+    sim = Simulator()
+    winner = Timeout(sim, 1.0)
+    loser = Timeout(sim, 1000.0)
+    race = AnyOf(sim, [winner, loser])
+    dispatches = []
+    race.add_callback(lambda e: dispatches.append(e.value))
+    sim.run()
+    assert dispatches == [(0, None)]  # fired exactly once, index 0 won
+    assert loser.cancelled
+    assert loser.callback_count == 0
+    # the stale loser entry may advance the clock when popped, but the
+    # loser itself never dispatches — nothing ran after t=1 here
+    assert not race.callback_count
+
+
+def test_allof_fail_fast_detaches_pending_children():
+    sim = Simulator()
+    gate = sim.event()
+    late = Timeout(sim, 1000.0)
+    combo = AllOf(sim, [gate, late])
+    dispatches = []
+    combo.add_callback(lambda e: dispatches.append(e.ok))
+
+    def failer():
+        yield Timeout(sim, 1.0)
+        gate.fail(RuntimeError("boom"))
+
+    sim.spawn(failer())
+    sim.run()
+    assert dispatches == [False]  # failed exactly once
+    assert late.cancelled
+    assert late.callback_count == 0
+
+
+def test_anyof_immediate_winner_skips_registration():
+    sim = Simulator()
+    done = sim.event().succeed("v")
+    loser = Timeout(sim, 50.0)
+    race = AnyOf(sim, [done, loser])
+    assert race.triggered and race.value == (0, "v")
+    # the loser was never registered on, so it is free to be cancelled
+    assert loser.callback_count == 0
+
+
+def test_event_double_trigger_still_rejected():
+    sim = Simulator()
+    ev = sim.event().succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_cancel_with_registered_callback_rejected():
+    sim = Simulator()
+    t = Timeout(sim, 1.0)
+    t.add_callback(lambda e: None)
+    with pytest.raises(SimulationError):
+        t.cancel()
+
+
+# ---------------------------------------------------------------------------
+# lazy deletion + in-place compaction
+# ---------------------------------------------------------------------------
+
+
+def test_heap_compaction_discards_cancelled_entries():
+    sim = Simulator()
+    doomed = [Timeout(sim, 10.0) for _ in range(300)]
+    keeper_fired = []
+
+    def keeper():
+        yield Timeout(sim, 20.0)
+        keeper_fired.append(sim.now)
+
+    sim.spawn(keeper())
+    for t in doomed:
+        assert t.cancel()
+    # enough cancellations force in-place compactions: the heap shrinks
+    # to the live entries plus at most one sub-threshold tail of
+    # not-yet-compacted cancellations
+    from repro.sim.core import _COMPACT_MIN_CANCELLED
+
+    assert sim.pending_events <= 2 + _COMPACT_MIN_CANCELLED
+    sim.run()
+    assert keeper_fired == [20.0]
+
+
+def test_cancelled_timeouts_never_dispatch():
+    sim = Simulator()
+    t = Timeout(sim, 5.0)
+    assert t.cancel()
+    assert not t.cancel()  # second cancel reports already-dead
+    sim.run()
+    assert t.cancelled and not t.ok
+
+
+# ---------------------------------------------------------------------------
+# resource fast path
+# ---------------------------------------------------------------------------
+
+
+def test_try_acquire_fast_path_counts_like_acquire():
+    sim = Simulator()
+    res = Resource(sim, 2)
+    assert res.try_acquire()
+    assert res.try_acquire()
+    assert not res.try_acquire()  # full
+    assert res.in_use == 2
+    res.release()
+    assert res.try_acquire()
+    res.release()
+    res.release()
+    assert res.in_use == 0
+
+
+def test_try_acquire_defers_to_waiters():
+    """A free slot must not be stolen past queued waiters (FIFO)."""
+    sim = Simulator()
+    res = Resource(sim, 1)
+    order = []
+
+    def holder():
+        yield res.acquire()
+        yield Timeout(sim, 5.0)
+        order.append("holder-release")
+        res.release()
+
+    def waiter():
+        yield Timeout(sim, 1.0)
+        yield res.acquire()
+        order.append("waiter-got-it")
+        res.release()
+
+    def opportunist():
+        yield Timeout(sim, 2.0)
+        # waiter is queued: the fast path must refuse even though
+        # in_use briefly drops at release time
+        assert not res.try_acquire()
+        order.append("opportunist-refused")
+
+    sim.spawn(holder())
+    sim.spawn(waiter())
+    sim.spawn(opportunist())
+    sim.run()
+    assert order == ["opportunist-refused", "holder-release",
+                     "waiter-got-it"]
+
+
+def test_rdma_public_utilization_accessor():
+    from repro.hw.rdma import RdmaNic
+
+    sim = Simulator()
+    a = RdmaNic(sim, 0)
+    b = RdmaNic(sim, 1)
+    assert a.utilization() == 0.0
+    assert a.wire_bytes == 0
+    done = a.write(b, 256)
+    sim.run_until_event(done)
+    assert a.wire_bytes > 0
+    assert a.utilization() == a._wire.utilization(0.0)
