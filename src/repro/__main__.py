@@ -252,6 +252,15 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--update", action="store_true",
                       help="append this run to the trajectory file")
     perf.add_argument("--label", default="", help="label for --update")
+    perf.add_argument("--profile", action="store_true",
+                      help="run the benches under cProfile and print the "
+                           "hottest functions (skips baseline compare: "
+                           "profiled wall times carry tracer overhead)")
+    perf.add_argument("--profile-top", type=int, default=25, metavar="N",
+                      help="rows of profile output (default: %(default)s)")
+    perf.add_argument("--profile-out", default=None, metavar="FILE",
+                      help="with --profile, also dump raw pstats data "
+                           "(inspect with python -m pstats FILE)")
     _add_jobs_arg(perf)
     return parser
 
@@ -355,6 +364,25 @@ def run_perf_command(args) -> int:
 
     quick = not args.full
     path = args.baseline or BENCH_FILE
+    if args.profile:
+        import cProfile
+        import pstats
+
+        prof = cProfile.Profile()
+        prof.enable()
+        results = run_perf(quick=quick, repeats=args.repeats,
+                           benches=args.bench, verbose=False)
+        prof.disable()
+        print(format_results(results))
+        stats = pstats.Stats(prof)
+        stats.sort_stats("cumulative")
+        stats.print_stats(args.profile_top)
+        if args.profile_out:
+            stats.dump_stats(args.profile_out)
+            print("wrote %s (raw pstats)" % args.profile_out)
+        # Profiled wall times carry tracer overhead — never compare them
+        # against (or record them into) the un-profiled trajectory.
+        return 0
     results = run_perf(quick=quick, repeats=args.repeats,
                        benches=args.bench, verbose=False)
     print(format_results(results))

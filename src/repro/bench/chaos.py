@@ -56,6 +56,11 @@ class ChaosResult:
     trace: Optional[FaultTrace] = None
     sim_time_us: float = 0.0
     observer: Optional[Observer] = None
+    # simulated end-state + engine work, surfaced for golden-digest checks
+    # and the wall-clock perf harness (events_scheduled is the real event
+    # count, not a commit-count proxy).
+    final_values: Dict[int, object] = field(default_factory=dict)
+    events_scheduled: int = 0
 
     @property
     def ok(self) -> bool:
@@ -160,7 +165,10 @@ def run_chaos(
     result = ChaosResult(system=system, seed=seed, spec=spec,
                          commits=commits, aborts=aborts, limbo=limbo,
                          trace=plan.trace, sim_time_us=sim.now,
-                         observer=observer)
+                         observer=observer,
+                         final_values={k: cluster.read_committed_value(k)
+                                       for k in range(keys)},
+                         events_scheduled=sim.events_scheduled)
     if not spec.crashes:
         if limbo:
             result.violations.append(

@@ -1,0 +1,72 @@
+"""Golden-digest determinism checks for the model layer.
+
+The hard invariant of every wall-clock optimization PR is that the
+*simulated* results stay byte-identical per seed: an "optimization" that
+changes RNG draw order, event interleaving, or protocol behaviour is a
+modeling change, not a speedup.  This module runs one committed seed per
+experiment family, collects every simulated metric the run produces into
+a canonical JSON payload, and hashes it.  ``tests/test_golden_digest.py``
+pins the digests; any model-layer change that shifts simulated behaviour
+fails loudly there.
+
+The payloads deliberately include *only* simulated quantities (committed
+state, counters, latencies, simulated clock) — never wall-clock times or
+Python-level object counts, which optimizations are free to change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+__all__ = ["canonical_digest", "fig8d_point_payload", "chaos_payload"]
+
+
+def canonical_digest(payload: Any) -> str:
+    """sha256 over the canonical (sorted-keys) JSON form of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def fig8d_point_payload(obs: bool = False) -> Dict[str, Any]:
+    """Simulated metrics of the reduced Figure-8d point the perf harness
+    times (Xenic on Smallbank, 3 nodes, quick window).  ``obs=True`` runs
+    the same seed under a live Observer — the digest must not change
+    (observer neutrality)."""
+    from ..workloads import Smallbank
+    from .runner import Bench, to_jsonable
+
+    bench = Bench(
+        "xenic",
+        Smallbank(3, accounts_per_server=2000, hot_keys_fraction=0.25),
+        n_nodes=3,
+        obs=obs,
+    )
+    result = bench.measure(16, warmup_us=100.0, window_us=300.0)
+    payload = to_jsonable(result)
+    payload["sim_now_us"] = bench.sim.now
+    payload["total_commits"] = bench._total_commits()
+    payload["total_aborts"] = bench._total_aborts()
+    return payload
+
+
+def chaos_payload(obs: bool = False) -> Dict[str, Any]:
+    """Simulated metrics of one committed chaos seed (fault machinery +
+    invariant checks), including the final committed value of every key."""
+    from .chaos import run_chaos
+
+    result = run_chaos(system="xenic", seed=3, n_txns=40, n_nodes=3,
+                       keys=24, obs=obs)
+    return {
+        "system": result.system,
+        "seed": result.seed,
+        "commits": result.commits,
+        "aborts": result.aborts,
+        "limbo": result.limbo,
+        "violations": list(result.violations),
+        "sim_time_us": result.sim_time_us,
+        "fault_summary": result.trace.summary() if result.trace else "",
+        "final_values": {str(k): v for k, v in
+                         sorted(result.final_values.items())},
+    }

@@ -10,9 +10,13 @@ Two kinds of benches:
 * **event-loop micro benches** (``timeout_churn``, ``resource_churn``,
   ``anyof_cancel``, ``link_stream``): tight loops over one engine
   primitive, reported as events/second dispatched;
-* **end-to-end benches** (``fig8d_point``, ``chaos_seed``): a reduced
-  figure sweep point and one chaos seed, exercising the full protocol
-  stack.
+* **model-layer micro benches** (``workload_specs``, ``store_probe``,
+  ``commit_path``): the layers *above* the engine — workload spec
+  generation, Robinhood probe loops, and the no-conflict commit path —
+  so regressions in model code are attributed to the right layer;
+* **end-to-end benches** (``fig8d_point``, ``retwis_point``,
+  ``chaos_seed``): reduced figure sweep points and one chaos seed,
+  exercising the full protocol stack.
 
 Results append to a *trajectory* file (``BENCH_simperf.json`` by
 default): one entry per recorded run, newest last, so the committed
@@ -117,6 +121,70 @@ def _bench_link_stream(n: int) -> Tuple[float, int]:
     return time.perf_counter() - t0, sim.events_scheduled
 
 
+def _bench_workload_specs(n: int) -> Tuple[float, int]:
+    """Model-layer: transaction-spec generation — mix-table dispatch plus
+    Zipf/hotspot key draws — with no simulator in the loop."""
+    from ..workloads import Retwis, Smallbank
+
+    streams = [
+        Smallbank(3, accounts_per_server=2000,
+                  hot_keys_fraction=0.25).generator_for(0, "perf"),
+        Retwis(3, keys_per_server=2000).generator_for(0, "perf"),
+    ]
+    t0 = time.perf_counter()
+    for stream in streams:
+        nxt = stream.next
+        for _ in range(n // len(streams)):
+            nxt()
+    return time.perf_counter() - t0, n
+
+
+def _bench_store_probe(n: int) -> Tuple[float, int]:
+    """Model-layer: Robinhood probe loop at 50% load, alternating hits
+    and misses (the per-key cost behind every NIC index operation)."""
+    from ..store.robinhood import RobinhoodTable
+
+    table = RobinhoodTable(capacity=4096, dm=8, segment_size=8)
+    for i in range(2048):
+        table.insert(i * 7)
+    lookup = table.lookup
+    t0 = time.perf_counter()
+    for i in range(n // 2):
+        lookup((i % 2048) * 7)      # hit
+        lookup((i % 2048) * 7 + 3)  # miss
+    return time.perf_counter() - t0, n
+
+
+def _bench_commit_path(n: int) -> Tuple[float, int]:
+    """Model-layer: the no-conflict commit path — one coordinator running
+    disjoint single-key read-write transactions back to back through the
+    full Xenic stack (execute, validate, log, commit; 1/3 local keys)."""
+    from ..core import XenicCluster
+    from ..core.txn import TxnSpec
+
+    sim = Simulator()
+    cluster = XenicCluster(sim, 3, keys_per_shard=4096, value_size=64)
+    cluster.load_keys(range(1000))
+    cluster.prewarm_nic_caches()
+    cluster.start()
+    proto = cluster.protocols[0]
+    done = []
+
+    def driver():
+        for i in range(n):
+            key = i % 1000
+            yield from proto.run_transaction(TxnSpec([key], [key]))
+        done.append(True)
+
+    sim.spawn(driver(), name="commit-path")
+    t0 = time.perf_counter()
+    # background host workers never exit, so run in bounded slices until
+    # the driver reports completion
+    while not done:
+        sim.run(until=sim.now + 10_000.0)
+    return time.perf_counter() - t0, sim.events_scheduled
+
+
 def _bench_fig8d_point(quick: bool) -> Tuple[float, int]:
     """One reduced Figure-8d point: Xenic on Smallbank, full protocol
     stack (NIC runtime, DMA, fabric, transactions)."""
@@ -134,18 +202,31 @@ def _bench_fig8d_point(quick: bool) -> Tuple[float, int]:
     return time.perf_counter() - t0, bench.sim.events_scheduled
 
 
+def _bench_retwis_point(quick: bool) -> Tuple[float, int]:
+    """One reduced Retwis point: read-dominated mix with multi-key
+    timeline reads, complementing fig8d's write-heavy Smallbank."""
+    from ..workloads import Retwis
+    from .runner import Bench
+
+    bench = Bench("xenic", Retwis(3, keys_per_server=2000), n_nodes=3)
+    t0 = time.perf_counter()
+    bench.measure(16 if quick else 64, warmup_us=100.0,
+                  window_us=300.0 if quick else 800.0)
+    return time.perf_counter() - t0, bench.sim.events_scheduled
+
+
 def _bench_chaos_seed(quick: bool) -> Tuple[float, int]:
     """One seeded chaos run: fault injection + invariant checking."""
     from .chaos import run_chaos
 
     t0 = time.perf_counter()
-    result = run_chaos(system="xenic", seed=3, n_txns=20 if quick else 60,
-                       n_nodes=3)
+    result = run_chaos(system="xenic", seed=3,
+                       n_txns=150 if quick else 400, n_nodes=3)
     wall = time.perf_counter() - t0
-    events = int(result.sim_time_us) if result.sim_time_us else 0
-    # events_scheduled is not surfaced by ChaosResult; count commits as a
-    # proxy denominator so the rate column stays meaningful.
-    return wall, max(result.commits + result.aborts, 1)
+    # ChaosResult surfaces the engine's real event count (sized so even
+    # the quick run schedules >=10k events), making the rate column
+    # comparable with the other end-to-end benches.
+    return wall, result.events_scheduled
 
 
 # name -> (factory, micro?) ; micro benches take an op count, end-to-end
@@ -155,21 +236,31 @@ _MICRO_N_QUICK = {
     "resource_churn": 48_000,
     "anyof_cancel": 24_000,
     "link_stream": 48_000,
+    "workload_specs": 60_000,
+    "store_probe": 120_000,
+    "commit_path": 1_500,
 }
 _MICRO_N_FULL = {
     "timeout_churn": 400_000,
     "resource_churn": 160_000,
     "anyof_cancel": 80_000,
     "link_stream": 160_000,
+    "workload_specs": 200_000,
+    "store_probe": 400_000,
+    "commit_path": 5_000,
 }
 _MICRO: Dict[str, Callable[[int], Tuple[float, int]]] = {
     "timeout_churn": _bench_timeout_churn,
     "resource_churn": _bench_resource_churn,
     "anyof_cancel": _bench_anyof_cancel,
     "link_stream": _bench_link_stream,
+    "workload_specs": _bench_workload_specs,
+    "store_probe": _bench_store_probe,
+    "commit_path": _bench_commit_path,
 }
 _END_TO_END: Dict[str, Callable[[bool], Tuple[float, int]]] = {
     "fig8d_point": _bench_fig8d_point,
+    "retwis_point": _bench_retwis_point,
     "chaos_seed": _bench_chaos_seed,
 }
 

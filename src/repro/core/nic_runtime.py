@@ -196,7 +196,7 @@ class NicRuntime:
         op.done.add_callback(
             lambda _e: [w.succeed() for w in waiters]
         )
-        self.nic.cores.execute_wall(self.nic.dma.submission_cost_us)
+        self.nic.cores.charge_wall(self.nic.dma.submission_cost_us)
         self.nic.dma.submit([op])
         self.dma_writes += 1
 
@@ -206,7 +206,7 @@ class NicRuntime:
         if not ops:
             return
         # submission cost: one core charge per vector (amortized, §3.5)
-        self.nic.cores.execute_wall(self.nic.dma.submission_cost_us)
+        self.nic.cores.charge_wall(self.nic.dma.submission_cost_us)
         self.nic.dma.submit(ops)
 
     def _burst_flusher(self):

@@ -26,7 +26,7 @@ from ..store.nic_index import NicIndex
 from ..store.object import VersionedObject
 from ..store.robinhood import RobinhoodTable
 from .config import XenicConfig
-from .txn import TOMBSTONE
+from .txn import TOMBSTONE, make_txn_id
 
 __all__ = ["XenicNode"]
 
@@ -211,18 +211,22 @@ class XenicNode:
         """One host Robinhood-worker thread: poll the log, apply write
         sets to the replica tables off the critical path (§4.2 step 7).
         The cluster spawns ``host_worker_threads`` of these per node."""
-        cfg = self.config
+        apply_us = self.config.worker_apply_us
+        run_wall = self.worker_cores.run_wall
+        apply_record = self._apply_record
+        log = self.log
+        signal_down = self.log_signal.down
         while True:
-            yield self.log_signal.down()
-            while self.log.pending:
-                batch = self.log.poll(max_records=4)
+            yield signal_down()
+            while log.pending:
+                batch = log.poll(max_records=4)
                 if not batch:
                     break
                 for record in batch:
-                    cost = cfg.worker_apply_us * max(1, len(record.writes))
-                    yield from self.worker_cores.run_wall(cost)
-                    self._apply_record(record)
-                    self.log.ack(record)
+                    cost = apply_us * max(1, len(record.writes))
+                    yield from run_wall(cost)
+                    apply_record(record)
+                    log.ack(record)
 
     def _apply_record(self, record: LogRecord) -> None:
         table = self.tables.get(record.shard)
@@ -253,6 +257,4 @@ class XenicNode:
 
     def next_txn_id(self) -> int:
         self.txn_seq += 1
-        from .txn import make_txn_id
-
         return make_txn_id(self.node_id, self.txn_seq)

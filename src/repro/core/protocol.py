@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..hw.network import NetMessage
+from ..sim.core import Timeout
 from ..sim.stats import Counter
 from ..store.log import LogRecord, record_size_bytes
 from .messages import (
@@ -32,8 +33,12 @@ from .messages import (
     VALIDATE,
     Request,
     Response,
+    recycle_request,
+    recycle_response,
     request_size,
     response_size,
+    take_request,
+    take_response,
 )
 from .nic_runtime import NicRuntime, PendingTable
 from .txn import NeedMoreKeys, TOMBSTONE, Transaction, TxnSpec, TxnStatus
@@ -74,6 +79,10 @@ class XenicProtocol:
         # window per peer; the simulation keeps the full set.
         self._wire_seq = 0
         self._seen_wire: set = set()
+        # bound-method dispatch table: saves an explicit self pass per
+        # served request on the hot path
+        self._handlers = {kind: handler.__get__(self)
+                          for kind, handler in self._HANDLERS.items()}
         node.nic.set_handler(self._on_wire)
         node.pcie.set_handlers(self._on_pcie_host, self._on_pcie_nic)
         node.protocol = self
@@ -238,8 +247,13 @@ class XenicProtocol:
                     continue
                 txn.write_values = result or {}
                 break
-        by_shard = self._group_keys(txn.effective_read_keys(),
-                                    txn.effective_write_keys())
+        if txn.extra_read_keys or txn.extra_write_keys:
+            # multi-shot rounds may have pulled in new shards; regroup.
+            # (Single-shot transactions reuse the EXECUTE grouping:
+            # _phase_validate only consults the shard count and regroups
+            # the version checks itself from read_values.)
+            by_shard = self._group_keys(txn.effective_read_keys(),
+                                        txn.effective_write_keys())
         ok, reason = yield from self._phase_validate(txn, by_shard)
         if not ok:
             yield from self._abort_cleanup(txn)
@@ -248,14 +262,15 @@ class XenicProtocol:
         if txn.read_only:
             self._notify_host(txn, True, None)
             return
-        ok = yield from self._phase_log(txn)
+        writes_by_shard = self._writes_by_shard(txn)
+        ok = yield from self._phase_log(txn, writes_by_shard)
         if not ok:
             yield from self._abort_cleanup(txn)
             self._notify_host(txn, False, "log-failed")
             return
         # Committed: report to the host, then apply at the primaries.
         self._notify_host(txn, True, None)
-        yield from self._phase_commit(txn)
+        yield from self._phase_commit(txn, writes_by_shard)
 
     def _group_by_shard(
         self, spec: TxnSpec
@@ -265,11 +280,22 @@ class XenicProtocol:
     def _group_keys(
         self, read_keys, write_keys
     ) -> Dict[int, Tuple[List[int], List[int]]]:
+        # get-then-insert instead of setdefault: avoids building a
+        # throwaway ([], []) pair per key on this per-transaction path
         groups: Dict[int, Tuple[List[int], List[int]]] = {}
+        shard_of = self.cluster.shard_of
         for k in read_keys:
-            groups.setdefault(self.cluster.shard_of(k), ([], []))[0].append(k)
+            s = shard_of(k)
+            g = groups.get(s)
+            if g is None:
+                g = groups[s] = ([], [])
+            g[0].append(k)
         for k in write_keys:
-            groups.setdefault(self.cluster.shard_of(k), ([], []))[1].append(k)
+            s = shard_of(k)
+            g = groups.get(s)
+            if g is None:
+                g = groups[s] = ([], [])
+            g[1].append(k)
         return groups
 
     def _run_logic(self, txn: Transaction, round_no: int = 0):
@@ -298,16 +324,47 @@ class XenicProtocol:
     def _phase_execute(self, txn: Transaction, by_shard):
         txn.status = TxnStatus.EXECUTING
         evs = []
-        shard_list = []
+        smart = self.config.smart_remote_ops
+        own = self.node.node_id
+        primary_of = self.cluster.primary_node_id
         single_shard = len(by_shard) == 1
+        inline = smart and single_shard and txn.read_only
+        if smart and single_shard:
+            # single-shard transaction: one EXECUTE — run a local core
+            # inline (no spawn) or await the single remote request
+            for shard, (rkeys, wkeys) in by_shard.items():
+                primary = primary_of(shard)
+                if primary == own:
+                    resp0 = yield from self._execute_core(
+                        shard, txn.txn_id, rkeys, wkeys, inline)
+                else:
+                    req = take_request(
+                        EXECUTE, txn.txn_id, shard, txn.coord_node,
+                        read_keys=rkeys, write_keys=wkeys,
+                    )
+                    if inline:
+                        req.versions = {"inline": 1}  # flag: validate inline
+                    resp0 = yield self._send_request(primary, req)
+            ok = True
+            reason = None
+            if resp0.ok:
+                read_values = txn.read_values
+                read_values.update(resp0.read_values)
+                for k, ver in resp0.versions.items():
+                    read_values.setdefault(k, (None, ver))
+                    txn.record_lock(resp0.shard, k)
+            else:
+                ok = False
+                reason = resp0.reason or "execute-abort"
+            recycle_response(resp0)
+            if ok and txn.read_only:
+                txn.status = TxnStatus.VALIDATING  # validated inline
+            return ok, reason
         for shard, (rkeys, wkeys) in by_shard.items():
-            inline = (
-                self.config.smart_remote_ops and single_shard and txn.read_only
-            )
-            primary = self.cluster.primary_node_id(shard)
-            if primary == self.node.node_id:
+            primary = primary_of(shard)
+            if primary == own:
                 # in the ablation baseline, local locks move to wave 2 too
-                w1_wkeys = wkeys if self.config.smart_remote_ops else []
+                w1_wkeys = wkeys if smart else []
                 evs.append(
                     self.sim.spawn(
                         self._execute_core(shard, txn.txn_id, rkeys,
@@ -315,16 +372,14 @@ class XenicProtocol:
                         name="exec-local",
                     )
                 )
-                shard_list.append(shard)
-            elif self.config.smart_remote_ops:
-                req = Request(
+            elif smart:
+                req = take_request(
                     EXECUTE, txn.txn_id, shard, txn.coord_node,
                     read_keys=rkeys, write_keys=wkeys,
                 )
                 if inline:
                     req.versions = {"inline": 1}  # flag: validate inline
                 evs.append(self._send_request(primary, req))
-                shard_list.append(shard)
             else:
                 # ablation baseline: per-key read requests now; per-key
                 # lock requests follow in a second wave, mirroring the
@@ -333,42 +388,48 @@ class XenicProtocol:
                     evs.append(
                         self._send_request(
                             primary,
-                            Request(EXECUTE, txn.txn_id, shard,
-                                    txn.coord_node, read_keys=[k]),
+                            take_request(EXECUTE, txn.txn_id, shard,
+                                         txn.coord_node, read_keys=[k]),
                         )
                     )
-                    shard_list.append(shard)
-        responses = yield self.sim.all_of(evs)
-        if not self.config.smart_remote_ops:
+        if len(evs) == 1:
+            resp0 = yield evs[0]
+            responses = (resp0,)
+        else:
+            responses = yield self.sim.all_of(evs)
+        if not smart:
             lock_evs = []
             for shard, (_rkeys, wkeys) in by_shard.items():
-                primary = self.cluster.primary_node_id(shard)
+                primary = primary_of(shard)
                 for k in wkeys:
-                    if primary == self.node.node_id:
+                    if primary == own:
                         lock_evs.append(self.sim.spawn(
                             self._execute_core(shard, txn.txn_id, [], [k]),
                             name="lock-local"))
                     else:
                         lock_evs.append(self._send_request(
                             primary,
-                            Request(EXECUTE, txn.txn_id, shard,
-                                    txn.coord_node, write_keys=[k])))
+                            take_request(EXECUTE, txn.txn_id, shard,
+                                         txn.coord_node, write_keys=[k])))
             if lock_evs:
                 lock_responses = yield self.sim.all_of(lock_evs)
                 responses = list(responses) + list(lock_responses)
         ok = True
         reason = None
+        read_values = txn.read_values
         for resp in responses:
-            if not resp.ok:
+            if resp.ok:
+                read_values.update(resp.read_values)
+                # resp.versions holds exactly the write keys this request
+                # locked
+                for k, ver in resp.versions.items():
+                    read_values.setdefault(k, (None, ver))
+                    txn.record_lock(resp.shard, k)
+            else:
                 ok = False
                 reason = resp.reason or "execute-abort"
-                continue
-            txn.read_values.update(resp.read_values)
-            # resp.versions holds exactly the write keys this request locked
-            for k, ver in resp.versions.items():
-                txn.read_values.setdefault(k, (None, ver))
-                txn.record_lock(resp.shard, k)
-        if ok and len(by_shard) == 1 and txn.read_only and self.config.smart_remote_ops:
+            recycle_response(resp)
+        if ok and single_shard and txn.read_only and smart:
             txn.status = TxnStatus.VALIDATING  # validated inline
         return ok, reason
 
@@ -388,8 +449,31 @@ class XenicProtocol:
         ):
             return True, None  # validated inline during EXECUTE
         groups: Dict[int, Dict[int, int]] = {}
+        shard_of = self.cluster.shard_of
+        read_values = txn.read_values
         for k in to_check:
-            groups.setdefault(self.cluster.shard_of(k), {})[k] = txn.read_values[k][1]
+            s = shard_of(k)
+            g = groups.get(s)
+            if g is None:
+                g = groups[s] = {}
+            g[k] = read_values[k][1]
+        if self.config.smart_remote_ops and len(groups) == 1:
+            for shard, versions in groups.items():
+                primary = self.cluster.primary_node_id(shard)
+                if primary == self.node.node_id:
+                    # single local validation: run inline, no spawn
+                    resp0 = yield from self._validate_core(
+                        shard, txn.txn_id, versions)
+                else:
+                    resp0 = yield self._send_request(
+                        primary,
+                        take_request(VALIDATE, txn.txn_id, shard,
+                                     txn.coord_node, versions=versions),
+                    )
+            ok = resp0.ok
+            reason = None if ok else (resp0.reason or "validate-abort")
+            recycle_response(resp0)
+            return ok, reason
         evs = []
         for shard, versions in groups.items():
             primary = self.cluster.primary_node_id(shard)
@@ -404,8 +488,8 @@ class XenicProtocol:
                 evs.append(
                     self._send_request(
                         primary,
-                        Request(VALIDATE, txn.txn_id, shard, txn.coord_node,
-                                versions=versions),
+                        take_request(VALIDATE, txn.txn_id, shard,
+                                     txn.coord_node, versions=versions),
                     )
                 )
             else:
@@ -413,22 +497,35 @@ class XenicProtocol:
                     evs.append(
                         self._send_request(
                             primary,
-                            Request(VALIDATE, txn.txn_id, shard,
-                                    txn.coord_node, versions={k: ver}),
+                            take_request(VALIDATE, txn.txn_id, shard,
+                                         txn.coord_node, versions={k: ver}),
                         )
                     )
-        responses = yield self.sim.all_of(evs)
+        if len(evs) == 1:
+            resp0 = yield evs[0]
+            responses = (resp0,)
+        else:
+            responses = yield self.sim.all_of(evs)
+        ok = True
+        reason = None
         for resp in responses:
-            if not resp.ok:
-                return False, resp.reason or "validate-abort"
-        return True, None
+            if not resp.ok and ok:
+                ok = False
+                reason = resp.reason or "validate-abort"
+            recycle_response(resp)
+        return ok, reason
 
     # -- LOG ------------------------------------------------------------
 
     def _writes_by_shard(self, txn: Transaction) -> Dict[int, Dict[int, object]]:
         groups: Dict[int, Dict[int, object]] = {}
+        shard_of = self.cluster.shard_of
         for k, v in txn.write_values.items():
-            groups.setdefault(self.cluster.shard_of(k), {})[k] = v
+            s = shard_of(k)
+            g = groups.get(s)
+            if g is None:
+                g = groups[s] = {}
+            g[k] = v
         return groups
 
     def _write_versions(self, txn: Transaction, keys) -> Dict[int, int]:
@@ -438,51 +535,91 @@ class XenicProtocol:
             versions[k] = captured[1] if captured is not None else 0
         return versions
 
-    def _phase_log(self, txn: Transaction):
+    def _phase_log(self, txn: Transaction, writes_by_shard):
         txn.status = TxnStatus.LOGGING
+        if len(writes_by_shard) == 1:
+            # single write shard (the common case): replicate inline in
+            # this frame instead of spawning a per-shard process
+            for shard, writes in writes_by_shard.items():
+                versions = self._write_versions(txn, writes)
+                ok = yield from self._replicate_shard(
+                    txn, shard, writes, versions)
+                return ok
         evs = []
-        for shard, writes in self._writes_by_shard(txn).items():
+        for shard, writes in writes_by_shard.items():
             versions = self._write_versions(txn, writes)
             evs.append(
                 self.sim.spawn(
-                    self._replicate_shard_collect(txn, shard, writes, versions),
+                    self._replicate_shard(txn, shard, writes, versions),
                     name="log-shard",
                 )
             )
         results = yield self.sim.all_of(evs)
         return all(results)
 
-    def _replicate_shard_collect(self, txn, shard, writes, versions):
-        ok = yield from self._replicate_shard(txn, shard, writes, versions)
-        return ok
-
     def _replicate_shard(self, txn, shard: int, writes, versions):
         """Send LOG records for one shard's write set to all its backups;
-        completes when every backup has acknowledged the durable append."""
+        completes when every backup has acknowledged the durable append.
+
+        ``writes``/``versions`` are shared (not copied) into the LOG
+        requests: no handler mutates a request's dict fields, and pool
+        recycling only reassigns them."""
         evs = []
+        own = self.node.node_id
         for backup in self.cluster.backups_of(shard):
-            req = Request(
-                LOG, txn.txn_id, shard, txn.coord_node,
-                write_values=dict(writes), versions=dict(versions),
-                value_bytes=txn.spec.write_bytes,
-            )
-            if backup == self.node.node_id:
+            if backup == own:
+                # plain Request: consumed by the spawned generator itself
+                # (no _serve to recycle it), so keep it off the pool
+                req = Request(
+                    LOG, txn.txn_id, shard, txn.coord_node,
+                    write_values=writes, versions=versions,
+                    value_bytes=txn.spec.write_bytes,
+                )
                 evs.append(
                     self.sim.spawn(self._log_core(req), name="log-local")
                 )
             else:
+                req = take_request(
+                    LOG, txn.txn_id, shard, txn.coord_node,
+                    write_values=writes, versions=versions,
+                    value_bytes=txn.spec.write_bytes,
+                )
                 evs.append(self._send_request(backup, req))
-        responses = yield self.sim.all_of(evs)
-        return all(r.ok for r in responses)
+        if len(evs) == 1:
+            resp0 = yield evs[0]
+            responses = (resp0,)
+        else:
+            responses = yield self.sim.all_of(evs)
+        ok = True
+        for r in responses:
+            if not r.ok:
+                ok = False
+            recycle_response(r)
+        return ok
 
     # -- COMMIT ------------------------------------------------------------
 
-    def _phase_commit(self, txn: Transaction):
+    def _phase_commit(self, txn: Transaction, writes_by_shard):
         txn.status = TxnStatus.COMMITTING
+        own = self.node.node_id
+        if len(writes_by_shard) == 1:
+            for shard, writes in writes_by_shard.items():
+                if self.cluster.primary_node_id(shard) == own:
+                    # single local commit: run inline, no spawn
+                    yield from self._commit_local(txn, shard, writes)
+                else:
+                    resp0 = yield self._send_request(
+                        self.cluster.primary_node_id(shard),
+                        take_request(COMMIT, txn.txn_id, shard,
+                                     txn.coord_node, write_values=writes,
+                                     value_bytes=txn.spec.write_bytes),
+                    )
+                    recycle_response(resp0)
+            return
         evs = []
-        for shard, writes in self._writes_by_shard(txn).items():
+        for shard, writes in writes_by_shard.items():
             primary = self.cluster.primary_node_id(shard)
-            if primary == self.node.node_id:
+            if primary == own:
                 evs.append(
                     self.sim.spawn(
                         self._commit_local(txn, shard, writes),
@@ -493,20 +630,30 @@ class XenicProtocol:
                 evs.append(
                     self._send_request(
                         primary,
-                        Request(COMMIT, txn.txn_id, shard, txn.coord_node,
-                                write_values=dict(writes),
-                                value_bytes=txn.spec.write_bytes),
+                        take_request(COMMIT, txn.txn_id, shard,
+                                     txn.coord_node, write_values=writes,
+                                     value_bytes=txn.spec.write_bytes),
                     )
                 )
-        yield self.sim.all_of(evs)
+        if len(evs) == 1:
+            resp0 = yield evs[0]
+            if resp0 is not None:
+                recycle_response(resp0)
+        else:
+            responses = yield self.sim.all_of(evs)
+            for r in responses:
+                # local commits (_commit_local) recycle their own response
+                # and resolve to None
+                if r is not None:
+                    recycle_response(r)
 
     def _commit_local(self, txn: Transaction, shard: int, writes):
-        resp = yield from self._commit_core(
-            Request(COMMIT, txn.txn_id, shard, txn.coord_node,
-                    write_values=dict(writes),
-                    value_bytes=txn.spec.write_bytes)
-        )
-        return resp
+        req = take_request(COMMIT, txn.txn_id, shard, txn.coord_node,
+                           write_values=writes,
+                           value_bytes=txn.spec.write_bytes)
+        resp = yield from self._commit_core(req)
+        recycle_request(req)
+        recycle_response(resp)
 
     # -- abort cleanup ------------------------------------------------------------
 
@@ -530,11 +677,17 @@ class XenicProtocol:
                     if meta is not None and meta.lock_owner == txn.txn_id:
                         index.unlock(k, txn.txn_id)
             else:
-                req = Request(UNLOCK, txn.txn_id, shard, txn.coord_node,
-                              write_keys=list(keys))
+                req = take_request(UNLOCK, txn.txn_id, shard, txn.coord_node,
+                                   write_keys=list(keys))
                 evs.append(self._send_request(primary, req))
         if evs:
-            yield self.sim.all_of(evs)
+            if len(evs) == 1:
+                resp0 = yield evs[0]
+                recycle_response(resp0)
+            else:
+                responses = yield self.sim.all_of(evs)
+                for r in responses:
+                    recycle_response(r)
         txn.clear_locks()
 
     # ------------------------------------------------------------------
@@ -580,12 +733,16 @@ class XenicProtocol:
         pre_read = {}
         local_reads = by_shard.get(local, ([], []))[0]
         if local_reads:
-            fetched = yield self.sim.all_of([
-                self.sim.spawn(self._fetch_value(local, k), name="fetch")
-                for k in local_reads
-            ])
-            for k, (value, version) in zip(local_reads, fetched):
-                pre_read[k] = (value, version)
+            if len(local_reads) == 1:
+                k0 = local_reads[0]
+                pre_read[k0] = yield from self._fetch_value(local, k0)
+            else:
+                fetched = yield self.sim.all_of([
+                    self.sim.spawn(self._fetch_value(local, k), name="fetch")
+                    for k in local_reads
+                ])
+                for k, vv in zip(local_reads, fetched):
+                    pre_read[k] = vv
         for k in by_shard.get(local, ([], []))[1]:
             if k not in pre_read:
                 pre_read[k] = (None, index.read_version(k))
@@ -596,7 +753,7 @@ class XenicProtocol:
         fut_acks = self.runtime.pending.expect_count(ack_key, n_acks)
 
         rkeys, wkeys = by_shard.get(remote, ([], []))
-        req = Request(
+        req = take_request(
             EXEC_SHIP, txn.txn_id, remote, txn.coord_node,
             read_keys=rkeys, write_keys=wkeys,
             spec=spec, pre_read=pre_read, reply_to=self.node.node_id,
@@ -607,19 +764,29 @@ class XenicProtocol:
             for k in locked:
                 index.unlock(k, txn.txn_id)
             self._notify_host(txn, False, resp.reason or "multihop-remote-conflict")
+            recycle_response(resp)
             return
-        txn.write_values = dict(resp.write_values)
+        # take the write-value dict over (the response is recycled; its
+        # fields are reassigned, never cleared in place)
+        txn.write_values = resp.write_values
+        recycle_response(resp)
         acks = yield fut_acks
-        if not all(a.ok for a in acks):
+        ok = True
+        for a in acks:
+            if not a.ok:
+                ok = False
+            recycle_response(a)
+        if not ok:
             # a backup failed the append: release and retry
             for k in locked:
                 index.unlock(k, txn.txn_id)
             # awaited so a delayed release can't outlive this attempt and
             # steal the lock from the retry (same txn_id re-locks)
-            yield self._send_request(remote_primary,
-                                     Request(UNLOCK, txn.txn_id, remote,
-                                             txn.coord_node,
-                                             write_keys=rkeys + wkeys))
+            uresp = yield self._send_request(
+                remote_primary,
+                take_request(UNLOCK, txn.txn_id, remote, txn.coord_node,
+                             write_keys=rkeys + wkeys))
+            recycle_response(uresp)
             self._notify_host(txn, False, "multihop-log-failed")
             return
         self._notify_host(txn, True, None)
@@ -640,11 +807,12 @@ class XenicProtocol:
             k: v for k, v in txn.write_values.items()
             if self.cluster.shard_of(k) == remote
         }
-        req = Request(COMMIT, txn.txn_id, remote, txn.coord_node,
-                      write_values=remote_writes,
-                      value_bytes=txn.spec.write_bytes)
+        req = take_request(COMMIT, txn.txn_id, remote, txn.coord_node,
+                           write_values=remote_writes,
+                           value_bytes=txn.spec.write_bytes)
         req.read_keys = [k for k in rkeys if k not in remote_writes]
-        yield self._send_request(remote_primary, req)
+        cresp = yield self._send_request(remote_primary, req)
+        recycle_response(cresp)
 
     def _handle_exec_ship(self, req: Request):
         """Remote-primary execution (P2 in Figure 7b).
@@ -660,17 +828,22 @@ class XenicProtocol:
             if not index.try_lock(k, req.txn_id):
                 for kk in locked:
                     index.unlock(kk, req.txn_id)
-                return Response(EXEC_SHIP, req.txn_id, req.shard, False,
-                                reason="ship-lock-conflict")
+                return take_response(EXEC_SHIP, req.txn_id, req.shard, False,
+                                     reason="ship-lock-conflict")
             locked.append(k)
         read_values: Dict[int, Tuple[object, int]] = {}
         if req.read_keys:
-            fetched = yield self.sim.all_of([
-                self.sim.spawn(self._fetch_value(req.shard, k), name="fetch")
-                for k in req.read_keys
-            ])
-            for k, (value, version) in zip(req.read_keys, fetched):
-                read_values[k] = (value, version)
+            if len(req.read_keys) == 1:
+                k0 = req.read_keys[0]
+                read_values[k0] = yield from self._fetch_value(req.shard, k0)
+            else:
+                fetched = yield self.sim.all_of([
+                    self.sim.spawn(self._fetch_value(req.shard, k),
+                                   name="fetch")
+                    for k in req.read_keys
+                ])
+                for k, vv in zip(req.read_keys, fetched):
+                    read_values[k] = vv
             # inline validation of unlocked reads (no yields below until
             # the LOGs are issued, so this is the serialization point)
             for k, (_v, ver) in read_values.items():
@@ -679,8 +852,8 @@ class XenicProtocol:
                 if index.is_locked(k, req.txn_id) or index.read_version(k) != ver:
                     for kk in locked:
                         index.unlock(kk, req.txn_id)
-                    return Response(EXEC_SHIP, req.txn_id, req.shard, False,
-                                    reason="ship-validate")
+                    return take_response(EXEC_SHIP, req.txn_id, req.shard,
+                                         False, reason="ship-validate")
         # merge coordinator-side pre-read values and run the logic here
         spec: TxnSpec = req.spec
         shadow = Transaction(req.txn_id, req.coord_node, spec)
@@ -707,22 +880,24 @@ class XenicProtocol:
                 else:
                     versions[k] = 0
             for backup in self.cluster.backups_of(shard):
-                log_req = Request(LOG, req.txn_id, shard, req.coord_node,
-                                  write_values=dict(writes),
-                                  versions=versions,
-                                  reply_to=req.reply_to,
-                                  value_bytes=spec.write_bytes)
+                log_req = take_request(LOG, req.txn_id, shard, req.coord_node,
+                                       write_values=writes,
+                                       versions=versions,
+                                       reply_to=req.reply_to,
+                                       value_bytes=spec.write_bytes)
                 if backup == self.node.node_id:
                     self.sim.spawn(self._log_core_redirect(log_req),
                                    name="mh-log-local")
                 else:
                     self._send_oneway(backup, log_req)
-        return Response(EXEC_SHIP, req.txn_id, req.shard, True,
-                        read_values=read_values, write_values=write_values)
+        return take_response(EXEC_SHIP, req.txn_id, req.shard, True,
+                             read_values=read_values,
+                             write_values=write_values)
 
     def _log_core_redirect(self, req: Request):
         resp = yield from self._log_core(req)
         self._deliver_log_ack(req.reply_to, req.txn_id, resp)
+        recycle_request(req)
 
     def _deliver_log_ack(self, target: int, txn_id: int, resp: Response) -> None:
         if target == self.node.node_id:
@@ -764,17 +939,23 @@ class XenicProtocol:
                 for kk in locked:
                     index.unlock(kk, txn_id)
                 self.stats.inc("lock_conflicts")
-                return Response(EXECUTE, txn_id, shard, False,
-                                reason="lock-conflict")
+                return take_response(EXECUTE, txn_id, shard, False,
+                                     reason="lock-conflict")
             locked.append(k)
         read_values: Dict[int, Tuple[object, int]] = {}
         if read_keys:
-            fetched = yield self.sim.all_of([
-                self.sim.spawn(self._fetch_value(shard, k), name="fetch")
-                for k in read_keys
-            ])
-            for k, (value, version) in zip(read_keys, fetched):
-                read_values[k] = (value, version)
+            if len(read_keys) == 1:
+                # single fetch: run inline in this frame — no Process spawn,
+                # no start event, no completion event
+                k0 = read_keys[0]
+                read_values[k0] = yield from self._fetch_value(shard, k0)
+            else:
+                fetched = yield self.sim.all_of([
+                    self.sim.spawn(self._fetch_value(shard, k), name="fetch")
+                    for k in read_keys
+                ])
+                for k, vv in zip(read_keys, fetched):
+                    read_values[k] = vv
         if validate_inline:
             for k, (_v, ver) in read_values.items():
                 if k in locked:
@@ -782,11 +963,11 @@ class XenicProtocol:
                 if index.is_locked(k, txn_id) or index.read_version(k) != ver:
                     for kk in locked:
                         index.unlock(kk, txn_id)
-                    return Response(EXECUTE, txn_id, shard, False,
-                                    reason="inline-validate")
+                    return take_response(EXECUTE, txn_id, shard, False,
+                                         reason="inline-validate")
         versions = {k: index.read_version(k) for k in write_keys}
-        return Response(EXECUTE, txn_id, shard, True,
-                        read_values=read_values, versions=versions)
+        return take_response(EXECUTE, txn_id, shard, True,
+                             read_values=read_values, versions=versions)
 
     def _fetch_value(self, shard: int, key: int):
         """Fetch one object's (value, version) at this (primary) NIC:
@@ -830,9 +1011,9 @@ class XenicProtocol:
         for k, ver in versions.items():
             if index.is_locked(k, txn_id) or index.read_version(k) != ver:
                 self.stats.inc("validate_conflicts")
-                return Response(VALIDATE, txn_id, shard, False,
-                                reason="version-changed")
-        return Response(VALIDATE, txn_id, shard, True)
+                return take_response(VALIDATE, txn_id, shard, False,
+                                     reason="version-changed")
+        return take_response(VALIDATE, txn_id, shard, True)
 
     def _log_core(self, req: Request):
         """LOG at a backup: durably append the record via DMA write."""
@@ -850,7 +1031,7 @@ class XenicProtocol:
         # the host workers once the bytes land in host memory
         yield self.runtime.dma_log_append(nbytes)
         self.node.append_log(record)
-        return Response(LOG, req.txn_id, req.shard, True)
+        return take_response(LOG, req.txn_id, req.shard, True)
 
     def _commit_core(self, req: Request):
         """COMMIT at the primary: append the commit record, refresh the
@@ -891,7 +1072,7 @@ class XenicProtocol:
             meta = index._meta.get(k)
             if meta is not None and meta.lock_owner == req.txn_id:
                 index.unlock(k, req.txn_id)
-        return Response(COMMIT, req.txn_id, req.shard, True)
+        return take_response(COMMIT, req.txn_id, req.shard, True)
 
     def _unlock_core(self, req: Request):
         index = self.node.index_for(req.shard)
@@ -902,17 +1083,24 @@ class XenicProtocol:
             meta = index._meta.get(k)
             if meta is not None and meta.lock_owner == req.txn_id:
                 index.unlock(k, req.txn_id)
-        return Response(UNLOCK, req.txn_id, req.shard, True)
+        return take_response(UNLOCK, req.txn_id, req.shard, True)
 
     # ------------------------------------------------------------------
     # message plumbing
     # ------------------------------------------------------------------
 
     def _send_request(self, dst: int, req: Request):
-        """Send a request; returns an event resolving to its Response."""
+        """Send a request; returns an event resolving to its Response.
+
+        Open-coded ``PendingTable`` single-waiter fast path: request ids
+        are plain per-node-unique ints (the response resolves in *this*
+        node's table, so no node qualifier is needed), stored directly in
+        ``_futures`` — int keys cannot collide with the tuple keys other
+        subsystems use."""
         self._req_seq += 1
-        rid = (self.node.node_id, self._req_seq)
-        fut = self.runtime.pending.expect(("resp", rid))
+        rid = self._req_seq
+        fut = self.sim.event(name="pending")
+        self.runtime.pending._futures[rid] = fut
         msg = NetMessage(
             self.node.node_id, dst, req.kind,
             request_size(req, self.cluster.value_size),
@@ -955,20 +1143,59 @@ class XenicProtocol:
             self.sim.spawn(self._serve(msg.src, rid, req), name="serve")
         elif tag == "resp":
             _tag, rid, resp = msg.payload
-            self.sim.spawn(self._receive_response(rid, resp), name="recv-resp")
+            self._charge_rx_then(self._resolve_response, rid, resp,
+                                 self._receive_response)
         elif tag == "oneway":
             self.sim.spawn(self._dispatch_oneway(msg.payload[1]), name="oneway")
         elif tag == "log_ack":
             _tag, txn_id, resp = msg.payload
-            self.sim.spawn(self._receive_log_ack(txn_id, resp), name="recv-ack")
+            self._charge_rx_then(self._resolve_mh_ack, txn_id, resp,
+                                 self._receive_log_ack)
         else:  # pragma: no cover - defensive
             raise RuntimeError("unknown wire tag %r" % (tag,))
 
+    def _charge_rx_then(self, fn, a, b, slow_gen) -> None:
+        """Charge one NIC core for inbound-message handling, then run
+        ``fn(a, b)`` — the no-Process form of ``yield from
+        handle_message_cost(0)`` followed by a synchronous action.
+
+        Replaces a spawned two-step generator (Process + start event +
+        core-run machinery) with at most one Timeout.  When an
+        observability sink is attached the spawned ``slow_gen`` path is
+        used instead so per-core spans stay complete."""
+        cores = self.node.nic.cores
+        if cores.obs_sink is not None:
+            self.sim.spawn(slow_gen(a, b), name="recv")
+            return
+        wall = self.runtime.msg_handle_us + self.runtime._stall_us()
+        pool = cores.pool
+        if pool.try_acquire():
+            cores.jobs_executed += 1
+            cores.busy_us += wall
+            Timeout(self.sim, wall).add_callback(
+                lambda _e: (pool.release(), fn(a, b)))
+        else:
+            pool.acquire().add_callback(
+                lambda _e: self._charge_rx_granted(cores, wall, fn, a, b))
+
+    def _charge_rx_granted(self, cores, wall, fn, a, b) -> None:
+        cores.jobs_executed += 1
+        cores.busy_us += wall
+        Timeout(self.sim, wall).add_callback(
+            lambda _e: (cores.pool.release(), fn(a, b)))
+
+    def _resolve_response(self, rid, resp: Response) -> None:
+        fut = self.runtime.pending._futures.pop(rid, None)
+        if fut is None:
+            self.stats.inc("stray_responses")
+        else:
+            fut.succeed(resp)
+
     def _serve(self, src: int, rid, req: Request):
-        handler = self._HANDLERS.get(req.kind)
+        handler = self._handlers.get(req.kind)
         if handler is None:  # pragma: no cover - defensive
             raise RuntimeError("no handler for %r" % req.kind)
-        resp = yield from handler(self, req)
+        resp = yield from handler(req)
         msg = NetMessage(
             self.node.node_id, src, "resp",
             response_size(resp, self.cluster.value_size),
@@ -976,6 +1203,9 @@ class XenicProtocol:
             wire_id=self._next_wire_id(),
         )
         self.node.nic.send(msg)
+        # the request's single consumption point: any duplicate delivery
+        # was already dropped by wire id before the payload is read
+        recycle_request(req)
 
     def _handle_execute_req(self, req: Request):
         yield from self.runtime.handle_message_cost(0)
@@ -1017,18 +1247,24 @@ class XenicProtocol:
 
     def _dispatch_oneway(self, req: Request):
         if req.kind == UNLOCK:
-            yield from self._handle_unlock_req(req)
+            resp = yield from self._handle_unlock_req(req)
+            recycle_response(resp)
+            recycle_request(req)
         elif req.kind == LOG:
             yield from self.runtime.handle_message_cost(len(req.write_values))
             resp = yield from self._log_core(req)
             self._deliver_log_ack(req.reply_to, req.txn_id, resp)
+            recycle_request(req)
         else:  # pragma: no cover - defensive
             raise RuntimeError("unexpected one-way %r" % req.kind)
 
     def _receive_response(self, rid, resp: Response):
         yield from self.runtime.handle_message_cost(0)
-        if not self.runtime.pending.resolve(("resp", rid), resp):
+        fut = self.runtime.pending._futures.pop(rid, None)
+        if fut is None:
             self.stats.inc("stray_responses")
+        else:
+            fut.succeed(resp)
 
     def _receive_log_ack(self, txn_id: int, resp: Response):
         yield from self.runtime.handle_message_cost(0)

@@ -9,7 +9,6 @@ can identify the coordinator.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 __all__ = [
@@ -85,62 +84,116 @@ class NeedMoreKeys:
         return "<NeedMoreKeys r=%r w=%r>" % (self.read_keys, self.write_keys)
 
 
-@dataclass
 class TxnSpec:
-    """What the workload asks for: keys, logic, and shipping hints."""
+    """What the workload asks for: keys, logic, and shipping hints.
 
-    read_keys: List[int]
-    write_keys: List[int]
-    logic: Optional[TxnLogic] = None
-    external_state: Any = None
-    external_state_bytes: int = 0
-    # user annotation (§4.3.3): allow shipping execution to NIC cores
-    ship_execution: bool = True
-    # multi-shot transactions (logic may return NeedMoreKeys) cannot use
-    # the multi-hop remote-execution pattern (§4.2.3: single round only)
-    single_round: bool = True
-    # reference-Xeon µs of application compute in the logic function
-    logic_cost_us: float = 0.1
-    # bytes per written value on the wire / in log records (defaults to
-    # the workload's full object size; workloads that modify a few fields
-    # replicate deltas, e.g. TPC-C stock updates)
-    write_bytes: Optional[int] = None
-    # host-side compute before the transaction starts (e.g. B+ tree ops)
-    local_compute_us: float = 0.0
-    read_only: bool = False
-    label: str = "txn"
-    # host-side callback after commit (e.g. local B+ tree maintenance,
-    # already accounted in local_compute_us)
-    post_commit: Optional[Callable[[], None]] = None
+    Hand-written ``__slots__`` class (CI floor is Python 3.9, no
+    ``@dataclass(slots=True)``): specs are built per transaction by the
+    workload generators, so construction cost and per-instance dict
+    overhead sit directly on the benchmark hot path.  The key lists are
+    fixed after construction (multi-shot rounds extend the
+    *transaction's* extra-key lists, never the spec), so ``all_keys()``
+    memoizes its result.
+    """
+
+    __slots__ = ("read_keys", "write_keys", "logic", "external_state",
+                 "external_state_bytes", "ship_execution", "single_round",
+                 "logic_cost_us", "write_bytes", "local_compute_us",
+                 "read_only", "label", "post_commit", "_all_keys")
+
+    def __init__(
+        self,
+        read_keys: List[int],
+        write_keys: List[int],
+        logic: Optional[TxnLogic] = None,
+        external_state: Any = None,
+        external_state_bytes: int = 0,
+        # user annotation (§4.3.3): allow shipping execution to NIC cores
+        ship_execution: bool = True,
+        # multi-shot transactions (logic may return NeedMoreKeys) cannot
+        # use the multi-hop remote-execution pattern (§4.2.3: single
+        # round only)
+        single_round: bool = True,
+        # reference-Xeon µs of application compute in the logic function
+        logic_cost_us: float = 0.1,
+        # bytes per written value on the wire / in log records (defaults
+        # to the workload's full object size; workloads that modify a few
+        # fields replicate deltas, e.g. TPC-C stock updates)
+        write_bytes: Optional[int] = None,
+        # host-side compute before the transaction starts (e.g. B+ tree)
+        local_compute_us: float = 0.0,
+        read_only: bool = False,
+        label: str = "txn",
+        # host-side callback after commit (e.g. local B+ tree
+        # maintenance, already accounted in local_compute_us)
+        post_commit: Optional[Callable[[], None]] = None,
+    ):
+        self.read_keys = read_keys
+        self.write_keys = write_keys
+        self.logic = logic
+        self.external_state = external_state
+        self.external_state_bytes = external_state_bytes
+        self.ship_execution = ship_execution
+        self.single_round = single_round
+        self.logic_cost_us = logic_cost_us
+        self.write_bytes = write_bytes
+        self.local_compute_us = local_compute_us
+        self.read_only = read_only
+        self.label = label
+        self.post_commit = post_commit
+        self._all_keys: Optional[List[int]] = None
 
     def all_keys(self) -> List[int]:
-        seen = dict.fromkeys(self.read_keys)
-        for k in self.write_keys:
-            seen.setdefault(k)
-        return list(seen)
+        keys = self._all_keys
+        if keys is None:
+            seen = dict.fromkeys(self.read_keys)
+            for k in self.write_keys:
+                seen.setdefault(k)
+            keys = self._all_keys = list(seen)
+        return keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("TxnSpec(%s, r=%r, w=%r)"
+                % (self.label, self.read_keys, self.write_keys))
 
 
-@dataclass
 class Transaction:
-    """In-flight transaction state."""
+    """In-flight transaction state (slotted: one per in-flight txn on the
+    benchmark hot path)."""
 
-    txn_id: int
-    coord_node: int
-    spec: TxnSpec
-    status: TxnStatus = TxnStatus.PENDING
-    # key -> (value, version) captured during EXECUTE
-    read_values: Dict[int, Tuple[Any, int]] = field(default_factory=dict)
-    # key -> new value, produced by the logic function
-    write_values: Dict[int, Any] = field(default_factory=dict)
-    # shard -> keys locked there (for abort cleanup)
-    locked: Dict[int, List[int]] = field(default_factory=dict)
-    # keys added by multi-shot execution rounds (§4.2 step 3)
-    extra_read_keys: List[int] = field(default_factory=list)
-    extra_write_keys: List[int] = field(default_factory=list)
-    attempts: int = 1
-    started_at: float = 0.0
-    committed_at: float = 0.0
-    abort_reason: Optional[str] = None
+    __slots__ = ("txn_id", "coord_node", "spec", "status", "read_values",
+                 "write_values", "locked", "extra_read_keys",
+                 "extra_write_keys", "attempts", "started_at",
+                 "committed_at", "abort_reason")
+
+    def __init__(
+        self,
+        txn_id: int,
+        coord_node: int,
+        spec: TxnSpec,
+        status: TxnStatus = TxnStatus.PENDING,
+    ):
+        self.txn_id = txn_id
+        self.coord_node = coord_node
+        self.spec = spec
+        self.status = status
+        # key -> (value, version) captured during EXECUTE
+        self.read_values: Dict[int, Tuple[Any, int]] = {}
+        # key -> new value, produced by the logic function
+        self.write_values: Dict[int, Any] = {}
+        # shard -> keys locked there (for abort cleanup)
+        self.locked: Dict[int, List[int]] = {}
+        # keys added by multi-shot execution rounds (§4.2 step 3)
+        self.extra_read_keys: List[int] = []
+        self.extra_write_keys: List[int] = []
+        self.attempts = 1
+        self.started_at = 0.0
+        self.committed_at = 0.0
+        self.abort_reason: Optional[str] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return ("Transaction(txn=%d, coord=%d, %s)"
+                % (self.txn_id, self.coord_node, self.status.value))
 
     @property
     def read_only(self) -> bool:

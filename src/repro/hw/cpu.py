@@ -81,6 +81,28 @@ class CoreGroup:
         (e.g. NIC handler costs measured on the NIC itself, §3.3)."""
         return self.execute(wall_us / self.slowdown)
 
+    def charge_wall(self, wall_us: float) -> None:
+        """Fire-and-forget :meth:`execute_wall`: occupy a core for
+        ``wall_us`` with no completion event handed back.
+
+        Queueing semantics match ``execute_wall`` exactly — when all cores
+        are busy the charge waits its FIFO turn — but the free-core case
+        runs without a Process or a done event (one Timeout instead of
+        four heap entries).  Falls back to ``execute_wall`` when an
+        observability sink is attached so per-core spans stay complete."""
+        if self.obs_sink is not None or not self.pool.try_acquire():
+            self.execute_wall(wall_us)
+            return
+        self.jobs_executed += 1
+        self.busy_us += wall_us
+        if wall_us > 0:
+            Timeout(self.sim, wall_us).add_callback(self._release_cb)
+        else:
+            self.pool.release()
+
+    def _release_cb(self, _ev: Event) -> None:
+        self.pool.release()
+
     def run_wall(self, wall_us: float):
         """Generator form of :meth:`execute_wall`."""
         return self.run(wall_us / self.slowdown)

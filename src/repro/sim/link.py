@@ -134,8 +134,30 @@ class BatchingLink:
             self._wake.succeed()
 
     def _drain(self):
-        while self._queue:
+        queue = self._queue
+        link = self.link
+        while queue:
             if self.aggregation:
+                if len(queue) == 1:
+                    # Sporadic-message fast path: one queued payload forms
+                    # a batch of one — skip the grouping dict.  Accounting
+                    # and timing are identical to the general path below.
+                    dest, nbytes, payload = queue.popleft()
+                    ev = link.transfer(nbytes)
+                    self.packets_sent += 1
+                    self.payloads_sent += 1
+                    link.batch_sizes.add(1)
+                    ev.add_callback(
+                        lambda _e, d=dest, p=payload: self.deliver(d, [p])
+                    )
+                    idle = link._busy_until - self.sim.now
+                    if idle > 0:
+                        yield self.sim.timeout(idle)
+                    if not queue:
+                        self._wake = self.sim.event(name="%s.wake" % self.name)
+                        yield self._wake
+                        self._wake = None
+                    continue
                 # Group everything currently queued by destination, capped
                 # at max_batch_bytes per wire transfer.
                 by_dest = {}

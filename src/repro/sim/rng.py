@@ -83,6 +83,11 @@ class ZipfGenerator:
         self.n = n
         self.alpha = alpha
         self.rng = rng
+        # Bound methods of the underlying random.Random: one frame per
+        # draw instead of two.  Draw sequence is identical to going
+        # through the RngStream pass-throughs.
+        self._random = rng._rng.random
+        self._randrange = rng._rng.randrange
         if alpha > 0:
             self._q = alpha
             self._h_x1 = self._h(1.5) - 1.0
@@ -106,16 +111,28 @@ class ZipfGenerator:
     def next(self) -> int:
         """Draw a rank in [0, n); rank 0 is the most popular key."""
         if self.alpha == 0:
-            return self.rng.randrange(self.n)
+            return self._randrange(self.n)
+        # Hot loop: every transaction draws 1-10 ranks.  Hoist the
+        # precomputed constants and bound methods into locals; the
+        # rejection test usually passes on the first draw.
+        rand = self._random
+        h_n = self._h_n
+        span = self._h_x1 - h_n
+        s = self._s
+        n = self.n
+        floor = math.floor
+        h = self._h
+        h_inv = self._h_inv
+        powq = self._pow
         while True:
-            u = self._h_n + self.rng.random() * (self._h_x1 - self._h_n)
-            x = self._h_inv(u)
-            k = math.floor(x + 0.5)
+            u = h_n + rand() * span
+            x = h_inv(u)
+            k = floor(x + 0.5)
             if k < 1:
                 k = 1
-            elif k > self.n:
-                k = self.n
-            if k - x <= self._s or u >= self._h(k + 0.5) - self._pow(k):
+            elif k > n:
+                k = n
+            if k - x <= s or u >= h(k + 0.5) - powq(k):
                 return int(k) - 1
 
     def __iter__(self):
@@ -143,10 +160,14 @@ class HotspotGenerator:
         self.hot_n = max(1, int(n * hot_fraction_keys))
         self.hot_fraction_ops = hot_fraction_ops
         self.rng = rng
+        # Bound methods of the underlying random.Random (draw-identical
+        # to the RngStream pass-throughs, one frame cheaper per draw).
+        self._random = rng._rng.random
+        self._randrange = rng._rng.randrange
 
     def next(self) -> int:
-        if self.rng.random() < self.hot_fraction_ops:
-            return self.rng.randrange(self.hot_n)
+        if self._random() < self.hot_fraction_ops:
+            return self._randrange(self.hot_n)
         if self.hot_n >= self.n:
-            return self.rng.randrange(self.n)
-        return self.hot_n + self.rng.randrange(self.n - self.hot_n)
+            return self._randrange(self.n)
+        return self.hot_n + self._randrange(self.n - self.hot_n)

@@ -12,7 +12,6 @@ keeping: an undersized log or too few workers throttles commit throughput.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["LogRecord", "HostLog"]
@@ -25,13 +24,25 @@ RECORD_HEADER_BYTES = 24
 PER_WRITE_HEADER_BYTES = 16  # key + version per write-set element
 
 
-@dataclass
 class LogRecord:
-    txn_id: int
-    kind: str
-    shard: int
-    writes: List[Tuple[int, object, int]]  # (key, value, version)
-    acked: bool = False
+    """One appended record (slotted: two per committed transaction on
+    the hot path — a replication record per backup and a commit record)."""
+
+    __slots__ = ("txn_id", "kind", "shard", "writes", "acked")
+
+    def __init__(
+        self,
+        txn_id: int,
+        kind: str,
+        shard: int,
+        writes: List[Tuple[int, object, int]],  # (key, value, version)
+        acked: bool = False,
+    ):
+        self.txn_id = txn_id
+        self.kind = kind
+        self.shard = shard
+        self.writes = writes
+        self.acked = acked
 
     @property
     def size_bytes(self) -> int:

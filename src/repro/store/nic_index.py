@@ -19,7 +19,6 @@ NIC-resident metadata for the host-side Robinhood table:
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from .robinhood import RobinhoodTable
@@ -32,28 +31,45 @@ SLOT_HEADER_BYTES = 16
 POINTER_SLOT_BYTES = 24
 
 
-@dataclass
 class TxnMeta:
-    """Lock/version metadata for one object, resident in NIC DRAM."""
+    """Lock/version metadata for one object, resident in NIC DRAM.
 
-    lock_owner: Optional[int] = None
-    version: int = 0
+    Slotted (one instance per concurrently-touched key on the commit
+    hot path)."""
+
+    __slots__ = ("lock_owner", "version")
+
+    def __init__(self, lock_owner: Optional[int] = None, version: int = 0):
+        self.lock_owner = lock_owner
+        self.version = version
 
     @property
     def locked(self) -> bool:
         return self.lock_owner is not None
 
 
-@dataclass
 class DmaLookupCost:
-    """Cost descriptor for one cache-miss lookup against host memory."""
+    """Cost descriptor for one cache-miss lookup against host memory
+    (slotted: one per DMA miss)."""
 
-    found: bool
-    objects_read: int
-    roundtrips: int  # DMA roundtrips (1 common case, 2 on stale hint/overflow)
-    first_read_bytes: int
-    second_read_bytes: int
-    extra_object_bytes: int  # large-object pointer chase (extra DMA op)
+    __slots__ = ("found", "objects_read", "roundtrips", "first_read_bytes",
+                 "second_read_bytes", "extra_object_bytes")
+
+    def __init__(
+        self,
+        found: bool,
+        objects_read: int,
+        roundtrips: int,  # DMA roundtrips (1 common, 2 on stale hint/overflow)
+        first_read_bytes: int,
+        second_read_bytes: int,
+        extra_object_bytes: int,  # large-object pointer chase (extra DMA op)
+    ):
+        self.found = found
+        self.objects_read = objects_read
+        self.roundtrips = roundtrips
+        self.first_read_bytes = first_read_bytes
+        self.second_read_bytes = second_read_bytes
+        self.extra_object_bytes = extra_object_bytes
 
     @property
     def total_bytes(self) -> int:

@@ -19,7 +19,6 @@ segment) that the SmartNIC index uses to size its DMA reads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..sim.stats import OnlineStats
@@ -30,28 +29,43 @@ __all__ = ["RobinhoodTable", "InsertResult", "LookupResult", "DeleteResult"]
 UNLIMITED = 1 << 30
 
 
-@dataclass
+# Result records are hand-written ``__slots__`` classes: one is allocated
+# per table operation, which puts them on both the bulk-load path and the
+# NIC index's per-miss lookup path.
+
+
 class InsertResult:
-    ok: bool
-    swaps: int  # elements displaced along the way
-    used_overflow: bool
-    moves: List[Tuple[int, int]]  # (slot, key) writes in application order
+    __slots__ = ("ok", "swaps", "used_overflow", "moves")
+
+    def __init__(self, ok: bool, swaps: int, used_overflow: bool,
+                 moves: List[Tuple[int, int]]):
+        self.ok = ok
+        self.swaps = swaps  # elements displaced along the way
+        self.used_overflow = used_overflow
+        # (slot, key) writes in application order
+        self.moves = moves
 
 
-@dataclass
 class LookupResult:
-    found: bool
-    probe_len: int  # slots examined in the main table
-    in_overflow: bool
-    slot: Optional[int]  # main-table slot if found there
-    displacement: Optional[int]  # found key's displacement from home
+    __slots__ = ("found", "probe_len", "in_overflow", "slot", "displacement")
+
+    def __init__(self, found: bool, probe_len: int, in_overflow: bool,
+                 slot: Optional[int], displacement: Optional[int]):
+        self.found = found
+        self.probe_len = probe_len  # slots examined in the main table
+        self.in_overflow = in_overflow
+        self.slot = slot  # main-table slot if found there
+        self.displacement = displacement  # found key's displacement from home
 
 
-@dataclass
 class DeleteResult:
-    ok: bool
-    overflow_swap: bool
-    shift_len: int  # backward-shift distance (0 when overflow-swap used)
+    __slots__ = ("ok", "overflow_swap", "shift_len")
+
+    def __init__(self, ok: bool, overflow_swap: bool, shift_len: int):
+        self.ok = ok
+        self.overflow_swap = overflow_swap
+        # backward-shift distance (0 when overflow-swap used)
+        self.shift_len = shift_len
 
 
 class RobinhoodTable:
@@ -76,6 +90,9 @@ class RobinhoodTable:
         self.hash_salt = hash_salt
         self.n_segments = capacity // segment_size
         self._slots: List[Optional[int]] = [None] * capacity
+        # home(key) memo: a pure function of (key, salt, capacity), all
+        # fixed after construction — probe loops hit it constantly
+        self._homes: Dict[int, int] = {}
         self._objects: Dict[int, VersionedObject] = {}
         # overflow buckets per segment: key lists (linked bucket model)
         self._overflow: Dict[int, List[int]] = {}
@@ -98,7 +115,10 @@ class RobinhoodTable:
     # -- hashing ------------------------------------------------------------
 
     def home(self, key: int) -> int:
-        return mix64(key ^ self.hash_salt) % self.capacity
+        h = self._homes.get(key)
+        if h is None:
+            h = self._homes[key] = mix64(key ^ self.hash_salt) % self.capacity
+        return h
 
     def segment_of_slot(self, slot: int) -> int:
         return slot // self.segment_size
@@ -152,14 +172,19 @@ class RobinhoodTable:
         cur_key = key
         cur_disp = 0
         pos = self.home(key)
+        cap = self.capacity
+        dm = self.dm
+        slots = self._slots
+        homes = self._homes
+        salt = self.hash_salt
         chain: List[Tuple[int, int]] = []  # (slot, key placed there)
         swaps = 0
         scanned = 0
         pending: Dict[int, int] = {}  # virtual writes along the chain
         while True:
-            if scanned > self.capacity:
+            if scanned > cap:
                 raise RuntimeError("robinhood table is full")
-            if cur_disp >= self.dm:
+            if cur_disp >= dm:
                 # the carried element hits the limit: it overflows to the
                 # bucket of its own home segment
                 self._overflow.setdefault(self.segment_of_key(cur_key), []).append(
@@ -168,18 +193,21 @@ class RobinhoodTable:
                 self._mark_dirty_for_key(cur_key)
                 self._finalize_insert(key, obj, chain)
                 return InsertResult(True, swaps, True, list(reversed(chain)))
-            occupant = pending.get(pos, self._slots[pos])
+            occupant = pending.get(pos, slots[pos])
             if occupant is None:
                 chain.append((pos, cur_key))
                 break
-            occ_disp = self._disp(occupant, pos)
+            occ_home = homes.get(occupant)
+            if occ_home is None:
+                occ_home = homes[occupant] = mix64(occupant ^ salt) % cap
+            occ_disp = (pos - occ_home) % cap
             if occ_disp < cur_disp:
                 # steal the slot; carry the occupant forward
                 chain.append((pos, cur_key))
                 pending[pos] = cur_key
                 cur_key, cur_disp = occupant, occ_disp
                 swaps += 1
-            pos = (pos + 1) % self.capacity
+            pos = (pos + 1) % cap
             cur_disp += 1
             scanned += 1
         self._finalize_insert(key, obj, chain)
@@ -251,15 +279,30 @@ class RobinhoodTable:
 
     def _lookup(self, key: int) -> LookupResult:
         home = self.home(key)
-        limit = min(self.dm, self.capacity)
-        for i in range(limit + 1):
-            pos = (home + i) % self.capacity
-            occupant = self._slots[pos]
-            if occupant == key:
-                return LookupResult(True, i + 1, False, pos, i)
-            if occupant is None:
-                # An empty slot ends probing (no tombstones by design).
-                return self._overflow_lookup(key, i + 1)
+        cap = self.capacity
+        dm = self.dm
+        limit = dm if dm < cap else cap
+        slots = self._slots
+        if home + limit < cap:
+            # no wraparound within the probe window: skip the per-probe
+            # modulo entirely
+            pos = home
+            for i in range(limit + 1):
+                occupant = slots[pos]
+                if occupant == key:
+                    return LookupResult(True, i + 1, False, pos, i)
+                if occupant is None:
+                    # An empty slot ends probing (no tombstones by design).
+                    return self._overflow_lookup(key, i + 1)
+                pos += 1
+        else:
+            for i in range(limit + 1):
+                pos = (home + i) % cap
+                occupant = slots[pos]
+                if occupant == key:
+                    return LookupResult(True, i + 1, False, pos, i)
+                if occupant is None:
+                    return self._overflow_lookup(key, i + 1)
         return self._overflow_lookup(key, limit + 1)
 
     def _overflow_lookup(self, key: int, probed: int) -> LookupResult:

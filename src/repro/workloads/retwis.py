@@ -38,6 +38,12 @@ class Retwis(Workload):
         self.keys_per_server = keys_per_server
         self.total_keys = keys_per_server * n_nodes
         self._zipfs = {}
+        # 100-entry mix table indexed by the same randrange(100) draw the
+        # cumulative scan used (draw-identical, one list index per txn).
+        self._mix_table = []
+        for kind, pct in MIX:
+            self._mix_table.extend([getattr(self, "_" + kind)] * pct)
+        assert len(self._mix_table) == 100
 
     def key_at(self, rank: int) -> int:
         """Map a popularity rank to a key spread round-robin over shards,
@@ -58,23 +64,21 @@ class Retwis(Workload):
         if zipf is None:
             zipf = ZipfGenerator(self.total_keys, ZIPF_ALPHA, rng)
             self._zipfs[rng.name] = zipf
+        nxt = zipf.next
+        key_at = self.key_at
         keys = []
         seen = set()
+        add = seen.add
+        append = keys.append
         while len(keys) < n:
-            k = self.key_at(zipf.next())
+            k = key_at(nxt())
             if k not in seen:
-                seen.add(k)
-                keys.append(k)
+                add(k)
+                append(k)
         return keys
 
     def next_spec(self, rng: RngStream, node_id: int) -> TxnSpec:
-        r = rng.randrange(100)
-        acc = 0
-        for name, pct in MIX:
-            acc += pct
-            if r < acc:
-                return getattr(self, "_" + name)(rng)
-        return self._get_timeline(rng)
+        return self._mix_table[rng.randrange(100)](rng)
 
     def _add_user(self, rng) -> TxnSpec:
         keys = self._pick_keys(rng, 3)

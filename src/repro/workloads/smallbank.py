@@ -32,16 +32,6 @@ MIX = [
 ]
 
 
-def _pick(rng: RngStream, mix):
-    r = rng.randrange(100)
-    acc = 0
-    for name, pct in mix:
-        acc += pct
-        if r < acc:
-            return name
-    return mix[-1][0]
-
-
 class Smallbank(Workload):
     name = "smallbank"
     value_size = VALUE_SIZE
@@ -55,6 +45,13 @@ class Smallbank(Workload):
         self.hot_keys_fraction = hot_keys_fraction
         self.hot_ops_fraction = hot_ops_fraction
         self._pickers = {}
+        # 100-entry mix table indexed by the same randrange(100) draw the
+        # cumulative scan used, replacing the scan + getattr dispatch
+        # with one list index (draw-identical).
+        self._mix_table = []
+        for kind, pct in MIX:
+            self._mix_table.extend([getattr(self, "_" + kind)] * pct)
+        assert len(self._mix_table) == 100
 
     # -- keyspace ------------------------------------------------------------
 
@@ -89,8 +86,7 @@ class Smallbank(Workload):
     # -- transactions ------------------------------------------------------------
 
     def next_spec(self, rng: RngStream, node_id: int) -> TxnSpec:
-        kind = _pick(rng, MIX)
-        return getattr(self, "_" + kind)(rng)
+        return self._mix_table[rng.randrange(100)](rng)
 
     def _balance(self, rng) -> TxnSpec:
         c = self._customer(rng)

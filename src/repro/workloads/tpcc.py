@@ -223,14 +223,19 @@ class TpccFull(_TpccBase):
                     return wid
         return home_wid
 
+    _mix_table = None
+
     def next_spec(self, rng: RngStream, node_id: int) -> TxnSpec:
-        r = rng.randrange(100)
-        acc = 0
-        for name, pct in FULL_MIX:
-            acc += pct
-            if r < acc:
-                return getattr(self, "_" + name)(rng, node_id)
-        return self._new_order(rng, node_id)
+        # 100-entry mix table indexed by the same randrange(100) draw the
+        # cumulative scan used (draw-identical, one list index per txn).
+        table = self._mix_table
+        if table is None:
+            table = []
+            for kind, pct in FULL_MIX:
+                table.extend([getattr(self, "_" + kind)] * pct)
+            assert len(table) == 100
+            self._mix_table = table
+        return table[rng.randrange(100)](rng, node_id)
 
     def _new_order(self, rng, node_id) -> TxnSpec:
         return self.new_order_spec(rng, node_id)
