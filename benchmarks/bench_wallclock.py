@@ -7,12 +7,13 @@ the ``BENCH_simperf.json`` trajectory semantics via ``repro.bench.perf``.
 Runnable two ways::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_wallclock.py -q
-    PYTHONPATH=src python benchmarks/bench_wallclock.py   # standalone
+    PYTHONPATH=src python benchmarks/bench_wallclock.py          # standalone
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --ab     # heap vs calendar
 """
 
 import sys
 
-from repro.bench.perf import format_results, run_perf
+from repro.bench.perf import format_ab, format_results, run_perf, run_queue_ab
 
 
 def test_wallclock(benchmark, quick):
@@ -29,5 +30,8 @@ def test_wallclock(benchmark, quick):
 
 
 if __name__ == "__main__":
-    res = run_perf(quick="--full" not in sys.argv, repeats=3)
-    print(format_results(res))
+    quick = "--full" not in sys.argv
+    if "--ab" in sys.argv:
+        print(format_ab(run_queue_ab(quick=quick, repeats=3)))
+    else:
+        print(format_results(run_perf(quick=quick, repeats=3)))

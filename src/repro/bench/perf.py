@@ -8,8 +8,10 @@ modeling regressions are.
 Two kinds of benches:
 
 * **event-loop micro benches** (``timeout_churn``, ``resource_churn``,
-  ``anyof_cancel``, ``link_stream``): tight loops over one engine
-  primitive, reported as events/second dispatched;
+  ``anyof_cancel``, ``queue_churn``, ``link_stream``): tight loops over
+  one engine primitive, reported as events/second dispatched
+  (``queue_churn`` is the scheduler A/B workhorse: near-horizon churn
+  against a large standing population of far timers);
 * **model-layer micro benches** (``workload_specs``, ``store_probe``,
   ``commit_path``): the layers *above* the engine — workload spec
   generation, Robinhood probe loops, and the no-conflict commit path —
@@ -41,12 +43,13 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.core import AnyOf, Simulator, Timeout
+from ..sim.equeue import QUEUE_KINDS, selected_queue_kind
 from ..sim.link import SerialLink
 from ..sim.resources import Resource
 
-__all__ = ["run_perf", "compare_entries", "load_trajectory",
-           "append_entry", "baseline_entry", "format_results",
-           "measure_scaling", "BENCH_FILE", "SCHEMA"]
+__all__ = ["run_perf", "run_queue_ab", "compare_entries", "load_trajectory",
+           "append_entry", "baseline_entry", "format_results", "format_ab",
+           "measure_scaling", "BENCH_FILE", "SCHEMA", "AB_BENCHES"]
 
 BENCH_FILE = "BENCH_simperf.json"
 SCHEMA = 1
@@ -103,6 +106,43 @@ def _bench_anyof_cancel(n: int) -> Tuple[float, int]:
     t0 = time.perf_counter()
     sim.run()
     return time.perf_counter() - t0, sim.events_scheduled
+
+
+def _bench_queue_churn(n: int) -> Tuple[float, int]:
+    """Near/far horizon mix: ``n`` sequential 1µs timeouts churning
+    against a large standing population of far timers — the queue shape
+    of an open-loop sweep, where every node keeps retransmission/lease
+    timers parked orders of magnitude past the working band.  The heap
+    pays O(log population) sifts (and their cache misses) per churn op;
+    the calendar parks the far band in its buckets and keeps churn O(1).
+    Only churn events count toward the rate."""
+    sim = Simulator()
+    standing = 16 * n
+    for i in range(standing):
+        # Far horizon: ~1s out, irregular spacing, never dispatched.
+        Timeout(sim, 1.0e9 + 17.0 * i)
+    stamps = []
+
+    def churn():
+        # Park past the warmup window, then stamp the wall clock from
+        # *inside* the dispatch loop: the timed window covers exactly
+        # the n churn events, excluding one-time structure setup on
+        # either side (the calendar's first-activation rebalance during
+        # warmup, and the far-band activation after the last churn event
+        # when run(until) probes for the next entry).
+        yield Timeout(sim, 32.0)
+        stamps.append(time.perf_counter())
+        for _ in range(n):
+            yield Timeout(sim, 1.0)
+        stamps.append(time.perf_counter())
+
+    sim.spawn(churn())
+    # Warm up past the first pops so the calendar pays its one-time
+    # first-activation rebalance over the standing population here, not
+    # in the timed window: this bench measures steady-state churn.
+    sim.run(until=16.0)
+    sim.run(until=64.0 + float(n))
+    return stamps[1] - stamps[0], n
 
 
 def _bench_link_stream(n: int) -> Tuple[float, int]:
@@ -185,7 +225,7 @@ def _bench_commit_path(n: int) -> Tuple[float, int]:
     return time.perf_counter() - t0, sim.events_scheduled
 
 
-def _bench_fig8d_point(quick: bool) -> Tuple[float, int]:
+def _bench_fig8d_point(quick: bool) -> Tuple[float, int, int]:
     """One reduced Figure-8d point: Xenic on Smallbank, full protocol
     stack (NIC runtime, DMA, fabric, transactions)."""
     from ..workloads import Smallbank
@@ -199,10 +239,11 @@ def _bench_fig8d_point(quick: bool) -> Tuple[float, int]:
     t0 = time.perf_counter()
     bench.measure(16 if quick else 64, warmup_us=100.0,
                   window_us=300.0 if quick else 800.0)
-    return time.perf_counter() - t0, bench.sim.events_scheduled
+    wall = time.perf_counter() - t0
+    return wall, bench.sim.events_scheduled, bench._total_commits()
 
 
-def _bench_retwis_point(quick: bool) -> Tuple[float, int]:
+def _bench_retwis_point(quick: bool) -> Tuple[float, int, int]:
     """One reduced Retwis point: read-dominated mix with multi-key
     timeline reads, complementing fig8d's write-heavy Smallbank."""
     from ..workloads import Retwis
@@ -212,10 +253,11 @@ def _bench_retwis_point(quick: bool) -> Tuple[float, int]:
     t0 = time.perf_counter()
     bench.measure(16 if quick else 64, warmup_us=100.0,
                   window_us=300.0 if quick else 800.0)
-    return time.perf_counter() - t0, bench.sim.events_scheduled
+    wall = time.perf_counter() - t0
+    return wall, bench.sim.events_scheduled, bench._total_commits()
 
 
-def _bench_chaos_seed(quick: bool) -> Tuple[float, int]:
+def _bench_chaos_seed(quick: bool) -> Tuple[float, int, int]:
     """One seeded chaos run: fault injection + invariant checking."""
     from .chaos import run_chaos
 
@@ -226,7 +268,7 @@ def _bench_chaos_seed(quick: bool) -> Tuple[float, int]:
     # ChaosResult surfaces the engine's real event count (sized so even
     # the quick run schedules >=10k events), making the rate column
     # comparable with the other end-to-end benches.
-    return wall, result.events_scheduled
+    return wall, result.events_scheduled, result.commits
 
 
 # name -> (factory, micro?) ; micro benches take an op count, end-to-end
@@ -235,6 +277,7 @@ _MICRO_N_QUICK = {
     "timeout_churn": 120_000,
     "resource_churn": 48_000,
     "anyof_cancel": 24_000,
+    "queue_churn": 24_000,
     "link_stream": 48_000,
     "workload_specs": 60_000,
     "store_probe": 120_000,
@@ -244,6 +287,7 @@ _MICRO_N_FULL = {
     "timeout_churn": 400_000,
     "resource_churn": 160_000,
     "anyof_cancel": 80_000,
+    "queue_churn": 80_000,
     "link_stream": 160_000,
     "workload_specs": 200_000,
     "store_probe": 400_000,
@@ -253,25 +297,33 @@ _MICRO: Dict[str, Callable[[int], Tuple[float, int]]] = {
     "timeout_churn": _bench_timeout_churn,
     "resource_churn": _bench_resource_churn,
     "anyof_cancel": _bench_anyof_cancel,
+    "queue_churn": _bench_queue_churn,
     "link_stream": _bench_link_stream,
     "workload_specs": _bench_workload_specs,
     "store_probe": _bench_store_probe,
     "commit_path": _bench_commit_path,
 }
-_END_TO_END: Dict[str, Callable[[bool], Tuple[float, int]]] = {
+_END_TO_END: Dict[str, Callable[[bool], Tuple[float, int, int]]] = {
     "fig8d_point": _bench_fig8d_point,
     "retwis_point": _bench_retwis_point,
     "chaos_seed": _bench_chaos_seed,
 }
+
+# Default bench set for the heap-vs-calendar A/B: the queue-sensitive
+# engine micro benches plus one end-to-end point.
+AB_BENCHES = ["timeout_churn", "anyof_cancel", "queue_churn",
+              "link_stream", "fig8d_point"]
 
 
 def run_perf(quick: bool = True, repeats: int = 3,
              benches: Optional[List[str]] = None,
              verbose: bool = False) -> Dict[str, Dict[str, float]]:
     """Run the harness; returns ``{bench: {wall_s, events,
-    events_per_sec}}`` using the best (minimum) wall time of ``repeats``
-    runs — the standard way to strip scheduler noise from wall-clock
-    benchmarks."""
+    events_per_sec}}`` — end-to-end benches additionally carry ``txns``
+    and ``events_per_txn`` (ev/s understates a win when the events
+    needed per committed transaction drops) — using the best (minimum)
+    wall time of ``repeats`` runs, the standard way to strip scheduler
+    noise from wall-clock benchmarks."""
     sizes = _MICRO_N_QUICK if quick else _MICRO_N_FULL
     results: Dict[str, Dict[str, float]] = {}
     for name in benches or list(_MICRO) + list(_END_TO_END):
@@ -282,23 +334,76 @@ def run_perf(quick: bool = True, repeats: int = 3,
         else:
             raise ValueError("unknown bench %r (have: %s)" % (
                 name, ", ".join(list(_MICRO) + list(_END_TO_END))))
-        wall, events = min(runs)
+        best = min(runs)
+        wall, events = best[0], best[1]
         results[name] = {
             "wall_s": wall,
             "events": events,
             "events_per_sec": events / wall if wall > 0 else 0.0,
         }
+        if len(best) > 2 and best[2]:
+            txns = best[2]
+            results[name]["txns"] = txns
+            results[name]["events_per_txn"] = events / txns
         if verbose:
             print("%-16s %8.3fs  %10d ev  %12.0f ev/s"
                   % (name, wall, events, results[name]["events_per_sec"]))
     return results
 
 
+def run_queue_ab(quick: bool = True, repeats: int = 3,
+                 benches: Optional[List[str]] = None,
+                 ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Run the same benches once per queue implementation (``heap`` and
+    ``calendar``), returning ``{kind: results}``.  Selection goes
+    through ``REPRO_QUEUE`` — every ``Simulator()`` a bench builds reads
+    it at construction — and the caller's value is restored on exit."""
+    saved = os.environ.get("REPRO_QUEUE")
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    try:
+        for kind in QUEUE_KINDS:
+            os.environ["REPRO_QUEUE"] = kind
+            out[kind] = run_perf(quick=quick, repeats=repeats,
+                                 benches=benches or AB_BENCHES)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_QUEUE", None)
+        else:
+            os.environ["REPRO_QUEUE"] = saved
+    return out
+
+
 def format_results(results: Dict[str, Dict[str, float]]) -> str:
-    lines = ["%-16s %10s %12s %14s" % ("bench", "wall_s", "events", "ev/s")]
+    lines = ["%-16s %10s %12s %14s %8s" % ("bench", "wall_s", "events",
+                                           "ev/s", "ev/txn")]
     for name, r in results.items():
-        lines.append("%-16s %10.3f %12d %14.0f"
-                     % (name, r["wall_s"], r["events"], r["events_per_sec"]))
+        per_txn = ("%8.1f" % r["events_per_txn"]
+                   if "events_per_txn" in r else "%8s" % "-")
+        lines.append("%-16s %10.3f %12d %14.0f %s"
+                     % (name, r["wall_s"], r["events"],
+                        r["events_per_sec"], per_txn))
+    return "\n".join(lines)
+
+
+def format_ab(ab: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Side-by-side heap/calendar table with the speedup ratio."""
+    kinds = list(ab)
+    names: List[str] = []
+    for results in ab.values():
+        for name in results:
+            if name not in names:
+                names.append(name)
+    lines = ["%-16s" % "bench"
+             + "".join(" %14s" % ("%s ev/s" % k) for k in kinds)
+             + " %10s" % "ratio"]
+    for name in names:
+        rates = [ab[k].get(name, {}).get("events_per_sec", 0.0)
+                 for k in kinds]
+        ratio = (rates[-1] / rates[0]
+                 if len(rates) > 1 and rates[0] > 0 else 0.0)
+        lines.append("%-16s" % name
+                     + "".join(" %14.0f" % r for r in rates)
+                     + " %9.2fx" % ratio)
     return "\n".join(lines)
 
 
@@ -360,6 +465,7 @@ def append_entry(results: Dict[str, Dict[str, float]], quick: bool,
         "label": label or "run%d" % (len(data["trajectory"]) + 1),
         "python": platform.python_version(),
         "quick": bool(quick),
+        "queue": selected_queue_kind(),
         "results": results,
     }
     data["trajectory"].append(entry)
@@ -370,10 +476,13 @@ def append_entry(results: Dict[str, Dict[str, float]], quick: bool,
 
 
 def baseline_entry(quick: bool, path: str = BENCH_FILE) -> Optional[dict]:
-    """Newest trajectory entry recorded at the same scale, if any."""
+    """Newest comparable trajectory entry at the same scale, if any.
+    Entries annotated ``"stale"`` (recorded under a since-changed bench
+    definition — see docs/PERFORMANCE.md, trajectory hygiene) are never
+    used as a comparison baseline."""
     data = load_trajectory(path)
     for entry in reversed(data["trajectory"]):
-        if entry.get("quick") == bool(quick):
+        if entry.get("quick") == bool(quick) and not entry.get("stale"):
             return entry
     return None
 

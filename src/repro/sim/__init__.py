@@ -1,6 +1,13 @@
 """Discrete-event simulation substrate (clock, processes, resources, RNG)."""
 
 from .core import AllOf, AnyOf, Event, Interrupt, Process, SimulationError, Simulator, Timeout
+from .equeue import (
+    CalendarEventQueue,
+    EventQueue,
+    HeapEventQueue,
+    make_queue,
+    selected_queue_kind,
+)
 from .faults import CrashEvent, FaultEvent, FaultPlan, FaultSpec, FaultTrace
 from .link import BatchingLink, SerialLink
 from .resources import Resource, Semaphore, Store
@@ -16,6 +23,11 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "EventQueue",
+    "HeapEventQueue",
+    "CalendarEventQueue",
+    "make_queue",
+    "selected_queue_kind",
     "Resource",
     "Semaphore",
     "Store",

@@ -14,18 +14,30 @@ Hot-path notes (see ``docs/PERFORMANCE.md``): events store their first
 callback in a dedicated slot so the common single-waiter case allocates no
 list; :class:`Timeout` bypasses the generic constructor and the
 schedule-in-the-past check; abandoned timeouts (:class:`AnyOf` losers,
-interrupted waits) are cancelled and lazily deleted from the heap, with a
-periodic in-place compaction once cancelled entries dominate; and
-:meth:`Simulator.run` dispatches scheduled events through an inlined loop
-with no per-event attribute lookups for observability — a per-event hook
-exists (:meth:`Simulator.set_event_hook`) but is checked once per ``run``
-call, never inside the loop, so disabled observability is zero-overhead.
+interrupted waits) are cancelled and lazily deleted from the scheduler
+queue, with a periodic in-place compaction once cancelled entries
+dominate; and :meth:`Simulator.run` dispatches scheduled events through
+the queue's inlined drain loop with no per-event attribute lookups for
+observability — a per-event hook exists (:meth:`Simulator.set_event_hook`)
+but is checked once per ``run`` call, never inside the loop, so disabled
+observability is zero-overhead.
+
+The scheduler data structure itself is pluggable (``repro.sim.equeue``):
+every scheduling site funnels through ``Simulator._push`` — the bound
+``push`` of an :class:`~repro.sim.equeue.EventQueue` — so the engine
+runs on either the calendar/bucket queue (default) or the binary-heap
+fallback (``REPRO_QUEUE=heap``) with byte-identical simulated results.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Union
+
+from .equeue import (  # noqa: F401  (_COMPACT_MIN_CANCELLED re-exported)
+    _COMPACT_MIN_CANCELLED,
+    EventQueue,
+    make_queue,
+)
 
 __all__ = [
     "Simulator",
@@ -37,12 +49,6 @@ __all__ = [
     "Interrupt",
     "SimulationError",
 ]
-
-# Once at least this many cancelled entries sit in the heap AND they make
-# up at least half of it, the scheduler compacts in place.  High enough
-# that small simulations never compact (preserving their exact final-clock
-# behavior), low enough that AnyOf-heavy workloads stay O(live events).
-_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
@@ -226,8 +232,7 @@ class Timeout(Event):
         self._value = None
         self._name = "timeout"
         self.delay = delay
-        sim._seq += 1
-        heapq.heappush(sim._queue, (sim._now + delay, sim._seq, self, value))
+        sim._push(sim._now + delay, self, value)
 
     def cancel(self) -> bool:
         if not Event.cancel(self):
@@ -347,13 +352,15 @@ class Process(Event):
         except AttributeError:
             self._send = lambda _v: next(gen)
             self._gthrow = _raise
-        self._wait_cb = self._on_wait_done
-        self._waiting_on: Optional[Event] = None
+        # Wakeups call _resume directly; its _waiting_on guard filters
+        # stale wakeups (e.g. an interrupt racing the event trigger), so
+        # no intermediate callback frame is needed on the per-yield path.
+        self._wait_cb = self._resume
         # Start on the next scheduler step so the spawner can keep a handle.
         start = Event(sim, name="start")
+        self._waiting_on: Optional[Event] = start
         start._cb0 = self._resume
-        sim._seq += 1
-        heapq.heappush(sim._queue, (sim._now, sim._seq, start, None))
+        sim._push(sim._now, start, None)
 
     @property
     def alive(self) -> bool:
@@ -373,7 +380,9 @@ class Process(Event):
     # -- internal ---------------------------------------------------------
 
     def _resume(self, ev: Event) -> None:
-        if self._ok is not None:
+        # Ignore stale wakeups from events we stopped waiting on, and
+        # anything arriving after the generator already finished.
+        if self._waiting_on is not ev or self._ok is not None:
             return
         self._waiting_on = None
         try:
@@ -440,13 +449,6 @@ class Process(Event):
         self._waiting_on = target
         target.add_callback(self._wait_cb)
 
-    def _on_wait_done(self, ev: Event) -> None:
-        # Ignore stale wakeups from events we stopped waiting on
-        # (e.g. after an interrupt raced with the event trigger).
-        if self._waiting_on is not ev:
-            return
-        self._resume(ev)
-
 
 class Simulator:
     """The event loop and simulated clock.
@@ -464,12 +466,18 @@ class Simulator:
         assert proc.value == "done"
     """
 
-    def __init__(self):
+    def __init__(self, queue: Union[str, EventQueue, None] = None):
         self._now = 0.0
-        self._queue: List = []  # heap of (time, seq, event, value)
-        self._seq = 0
+        # The scheduler structure is pluggable (docs/PERFORMANCE.md):
+        # "calendar" (default) or "heap", selected per instance, via the
+        # REPRO_QUEUE environment variable, or by passing an EventQueue.
+        if queue is None or isinstance(queue, str):
+            queue = make_queue(queue)
+        self._q = queue
+        # Every scheduling path funnels through this one bound method —
+        # the queue assigns seq numbers and owns the entry layout.
+        self._push = queue.push
         self._processes_spawned = 0
-        self._cancelled = 0  # cancelled entries still sitting in the heap
         self._hook: Optional[Callable[[Event, float, Any], None]] = None
 
     @property
@@ -478,16 +486,21 @@ class Simulator:
         return self._now
 
     @property
+    def queue_kind(self) -> str:
+        """Name of the scheduler implementation ("heap"/"calendar")."""
+        return self._q.kind
+
+    @property
     def pending_events(self) -> int:
         """Scheduled events not yet fired.  Zero means quiescence: in a
         closed discrete-event simulation no process can run again."""
-        return len(self._queue)
+        return len(self._q)
 
     @property
     def events_scheduled(self) -> int:
-        """Total heap entries pushed so far (the perf harness's
+        """Total queue entries pushed so far (the perf harness's
         events/second numerator)."""
-        return self._seq
+        return self._q.seq
 
     # -- scheduling -------------------------------------------------------
 
@@ -496,23 +509,13 @@ class Simulator:
             raise SimulationError(
                 "cannot schedule in the past (%.3f < %.3f)" % (when, self._now)
             )
-        self._seq += 1
-        heapq.heappush(self._queue, (when, self._seq, event, value))
+        self._push(when, event, value)
 
     def _note_cancelled(self) -> None:
-        """Count one more cancelled heap entry; compact once they dominate.
-
-        Compaction filters in place (the heap list object must keep its
-        identity — ``run`` holds a local reference to it) and drops every
-        already-triggered entry, cancelled or stale.
-        """
-        self._cancelled += 1
-        queue = self._queue
-        if (self._cancelled >= _COMPACT_MIN_CANCELLED
-                and 2 * self._cancelled >= len(queue)):
-            queue[:] = [entry for entry in queue if entry[2]._ok is None]
-            heapq.heapify(queue)
-            self._cancelled = 0
+        """Tell the queue one of its entries was cancelled; the queue
+        deletes lazily and compacts in place once stale entries dominate
+        (see ``repro.sim.equeue``)."""
+        self._q.abandon()
 
     def set_event_hook(
         self, hook: Optional[Callable[[Event, float, Any], None]]
@@ -553,9 +556,12 @@ class Simulator:
 
     def step(self) -> bool:
         """Process one scheduled entry; returns False if the queue is empty."""
-        queue = self._queue
-        while queue:
-            when, _seq, event, value = heapq.heappop(queue)
+        pop = self._q.pop_min
+        while True:
+            entry = pop()
+            if entry is None:
+                return False
+            when, _seq, event, value = entry
             self._now = when
             if event._ok is not None:
                 # A Timeout that was abandoned (e.g. AnyOf loser) cannot be
@@ -563,26 +569,23 @@ class Simulator:
                 continue
             self._fire(event, value)
             return True
-        return False
 
     def _step_bounded(self, until: float) -> bool:
         """Fire the next live entry if it is due at or before ``until``;
         stale entries up to ``until`` are discarded (advancing the clock,
         like :meth:`step`) but a live entry past ``until`` is left queued."""
-        queue = self._queue
-        while queue:
-            head = queue[0]
-            when = head[0]
-            if when > until:
+        q = self._q
+        while True:
+            when = q.peek_time()
+            if when is None or when > until:
                 return False
-            heapq.heappop(queue)
+            entry = q.pop_min()
             self._now = when
-            event = head[2]
+            event = entry[2]
             if event._ok is not None:
                 continue
-            self._fire(event, head[3])
+            self._fire(event, entry[3])
             return True
-        return False
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains, or until simulated time ``until``.
@@ -590,34 +593,19 @@ class Simulator:
         Returns the simulated time at which execution stopped: the last
         event time when draining, exactly ``until`` otherwise.  Events
         scheduled past ``until`` are never fired — not even when stale
-        abandoned entries precede them in the heap.
+        abandoned entries precede them in the queue.
+
+        The no-hook fast paths delegate to the queue's inlined drain
+        loops (``drain_all``/``drain_until``), which fire and dispatch
+        without per-event method calls; the hooked paths go through
+        :meth:`step` so every fired entry is reported.
         """
-        queue = self._queue
-        pop = heapq.heappop
         if until is None:
             if self._hook is not None:
                 while self.step():
                     pass
-                return self._now
-            while queue:
-                when, _seq, event, value = pop(queue)
-                self._now = when
-                if event._ok is None:
-                    event._ok = True
-                    event._value = value
-                    cb0 = event._cb0
-                    callbacks = event._callbacks
-                    if cb0 is not None:
-                        event._cb0 = None
-                        event._callbacks = None
-                        cb0(event)
-                        if callbacks:
-                            for fn in callbacks:
-                                fn(event)
-                    elif callbacks:
-                        event._callbacks = None
-                        for fn in callbacks:
-                            fn(event)
+            else:
+                self._q.drain_all(self)
             return self._now
         if until < self._now:
             raise SimulationError("until=%r is in the past" % (until,))
@@ -625,26 +613,7 @@ class Simulator:
             while self._step_bounded(until):
                 pass
         else:
-            while queue:
-                head = queue[0]
-                when = head[0]
-                if when > until:
-                    break
-                pop(queue)
-                self._now = when
-                event = head[2]
-                if event._ok is None:
-                    event._ok = True
-                    event._value = head[3]
-                    cb0 = event._cb0
-                    callbacks = event._callbacks
-                    event._cb0 = None
-                    event._callbacks = None
-                    if cb0 is not None:
-                        cb0(event)
-                    if callbacks:
-                        for fn in callbacks:
-                            fn(event)
+            self._q.drain_until(self, until)
         # The loop only fires entries <= until, so the clock never
         # overruns; land exactly on the boundary in both queue states.
         if self._now < until:
@@ -657,9 +626,13 @@ class Simulator:
         Raises :class:`SimulationError` if the queue drains (or ``limit`` is
         reached) without the event firing.
         """
+        peek = self._q.peek_time
         while not event.triggered:
-            if limit is not None and self._queue and self._queue[0][0] > limit:
-                raise SimulationError("time limit reached before event fired")
+            if limit is not None:
+                head = peek()
+                if head is not None and head > limit:
+                    raise SimulationError(
+                        "time limit reached before event fired")
             if not self.step():
                 raise SimulationError("simulation drained before event fired")
         if not event.ok:

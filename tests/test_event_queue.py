@@ -1,0 +1,269 @@
+"""Scheduler edge cases, exercised identically on both event-queue
+implementations (PR 6): the pluggable-queue contract says pop order,
+stale-entry handling, and the simulated clock are byte-identical between
+the heap and the calendar queue, so every test here is parametrized over
+both ``Simulator(queue=...)`` kinds and several also assert cross-impl
+identity directly.
+"""
+
+import os
+
+import pytest
+
+from repro.sim import Simulator, Timeout
+from repro.sim.core import AnyOf
+from repro.sim.equeue import (
+    _COMPACT_MIN_CANCELLED,
+    CalendarEventQueue,
+    DEFAULT_QUEUE,
+    HeapEventQueue,
+    make_queue,
+    selected_queue_kind,
+)
+
+KINDS = ["heap", "calendar"]
+
+
+# ---------------------------------------------------------------------------
+# selection / construction
+# ---------------------------------------------------------------------------
+
+
+def test_make_queue_by_name():
+    assert isinstance(make_queue("heap"), HeapEventQueue)
+    assert isinstance(make_queue("calendar"), CalendarEventQueue)
+    with pytest.raises(ValueError):
+        make_queue("splay")
+
+
+def test_simulator_accepts_kind_string_and_instance():
+    assert Simulator(queue="heap").queue_kind == "heap"
+    assert Simulator(queue="calendar").queue_kind == "calendar"
+    q = CalendarEventQueue()
+    sim = Simulator(queue=q)
+    assert sim.queue_kind == "calendar"
+    Timeout(sim, 1.0)
+    assert len(q) == 1
+
+
+def test_env_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_QUEUE", "heap")
+    assert selected_queue_kind() == "heap"
+    assert Simulator().queue_kind == "heap"
+    monkeypatch.setenv("REPRO_QUEUE", "not-a-queue")
+    assert selected_queue_kind() == DEFAULT_QUEUE
+    monkeypatch.delenv("REPRO_QUEUE")
+    assert selected_queue_kind() == DEFAULT_QUEUE
+
+
+# ---------------------------------------------------------------------------
+# empty-queue peek_time
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_empty_queue_peek_time(kind):
+    q = make_queue(kind)
+    assert q.peek_time() is None
+    assert q.pop_min() is None
+    assert len(q) == 0
+    # Still empty (and still None) after a push/pop cycle.
+    sim = Simulator(queue=q)
+    Timeout(sim, 5.0)
+    assert q.peek_time() == 5.0
+    sim.run()
+    assert q.peek_time() is None
+    assert q.pop_min() is None
+
+
+# ---------------------------------------------------------------------------
+# equal-timestamp FIFO ordering, including across bucket boundaries
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_equal_timestamp_fifo(kind):
+    sim = Simulator(queue=kind)
+    fired = []
+    for i in range(50):
+        Timeout(sim, 10.0).add_callback(lambda _e, i=i: fired.append(i))
+    sim.run()
+    assert fired == list(range(50))
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_fifo_across_bucket_boundaries(kind):
+    # Interleave schedule order across many distinct deadlines so bucket
+    # routing (calendar) must still produce global (when, seq) order.
+    sim = Simulator(queue=kind)
+    fired = []
+    lanes = [3.0, 3.5, 100.25, 7.0, 100.25, 0.5, 3.0]
+    expect = []
+    for i, delay in enumerate(lanes * 40):
+        Timeout(sim, delay).add_callback(
+            lambda _e, i=i, d=delay: fired.append((d, i)))
+        expect.append((delay, i))
+    expect.sort()  # (when, schedule order) — FIFO within equal deadlines
+    sim.run()
+    assert fired == expect
+
+
+def test_pop_order_identical_across_impls():
+    def trace(kind):
+        sim = Simulator(queue=kind)
+        out = []
+        delays = [(i * 37 % 19) + (0.5 if i % 3 else 0.0) for i in range(400)]
+        for i, d in enumerate(delays):
+            Timeout(sim, float(d)).add_callback(
+                lambda _e, i=i: out.append((sim.now, i)))
+        sim.run()
+        return out
+
+    assert trace("heap") == trace("calendar")
+
+
+# ---------------------------------------------------------------------------
+# run(until) boundary with stale/abandoned head entries
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_run_until_with_abandoned_head(kind):
+    sim = Simulator(queue=kind)
+    t_stale = Timeout(sim, 5.0)
+    t_live = Timeout(sim, 30.0)
+    fired = []
+    t_live.add_callback(lambda _e: fired.append(sim.now))
+    assert t_stale.cancel()
+    # The stale head is <= until: it is discarded (advancing the clock
+    # transiently) but never dispatched; the clock lands exactly on until.
+    sim.run(until=10.0)
+    assert fired == []
+    assert sim.now == 10.0
+    assert sim.pending_events == 1  # the live far timeout survived
+    sim.run(until=40.0)
+    assert fired == [30.0]
+    assert sim.now == 40.0
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_run_until_leaves_live_head_past_boundary(kind):
+    sim = Simulator(queue=kind)
+    fired = []
+    Timeout(sim, 50.0).add_callback(lambda _e: fired.append(sim.now))
+    sim.run(until=49.999)
+    assert fired == [] and sim.now == 49.999
+    sim.run(until=50.0)
+    assert fired == [50.0] and sim.now == 50.0
+
+
+# ---------------------------------------------------------------------------
+# interleaved abandon-then-reschedule
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_abandon_then_reschedule_interleaved(kind):
+    """A process that repeatedly races a near winner against a far loser:
+    every iteration cancels the far timeout and schedules fresh ones, so
+    stale entries interleave with live ones throughout the queue."""
+    sim = Simulator(queue=kind)
+    won = []
+
+    def racer():
+        for i in range(3 * _COMPACT_MIN_CANCELLED):  # cross compaction
+            got = yield AnyOf(sim, [Timeout(sim, 1.0, value="near"),
+                                    Timeout(sim, 1000.0, value="far")])
+            won.append(got[1])
+
+    sim.spawn(racer())
+    sim.run()
+    assert won == ["near"] * (3 * _COMPACT_MIN_CANCELLED)
+    assert sim.pending_events == 0  # full drain retires every stale entry
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_cancel_reschedule_same_horizon(kind):
+    sim = Simulator(queue=kind)
+    fired = []
+    stale = [Timeout(sim, 10.0) for _ in range(2 * _COMPACT_MIN_CANCELLED)]
+    for t in stale:
+        assert t.cancel()
+    # Reschedule live work at the same deadline as the abandoned batch.
+    for i in range(5):
+        Timeout(sim, 10.0).add_callback(lambda _e, i=i: fired.append(i))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 10.0
+
+
+def test_final_clock_identical_after_cancel_storm():
+    """Full-drain final clock is digest-visible: both impls must retire
+    the same stale entries at the same logical instants."""
+
+    def run(kind):
+        sim = Simulator(queue=kind)
+        log = []
+
+        def storm():
+            for i in range(200):
+                got = yield AnyOf(sim, [Timeout(sim, 0.5, value=i),
+                                        Timeout(sim, 500.0 + i, value=-i)])
+                log.append((sim.now, got[1]))
+
+        sim.spawn(storm())
+        sim.run()
+        return log, sim.now, sim.events_scheduled
+
+    assert run("heap") == run("calendar")
+
+
+# ---------------------------------------------------------------------------
+# calendar internals: rebalance keeps order and population
+# ---------------------------------------------------------------------------
+
+
+def test_calendar_rebalance_preserves_order_and_len():
+    q = CalendarEventQueue(width=1.0)
+    sim = Simulator(queue=q)
+    fired = []
+    # Sparse far-flung population to force a first-activation rebalance.
+    n = 300
+    for i in range(n):
+        Timeout(sim, 1.0 + 97.0 * i).add_callback(
+            lambda _e, i=i: fired.append(i))
+    assert len(q) == n
+    sim.run()
+    assert fired == list(range(n))
+    assert q.width != 1.0  # the load-factor trigger actually fired
+    assert len(q) == 0
+
+
+def test_calendar_push_into_active_band():
+    q = CalendarEventQueue(width=8.0)
+    sim = Simulator(queue=q)
+    fired = []
+
+    def proc():
+        yield Timeout(sim, 1.0)
+        fired.append(sim.now)
+        # Schedule behind and ahead within the active band; both must
+        # fire in timestamp order even though the band is mid-drain.
+        Timeout(sim, 0.5).add_callback(lambda _e: fired.append(sim.now))
+        Timeout(sim, 2.0).add_callback(lambda _e: fired.append(sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert fired == [1.0, 1.5, 3.0]
+
+
+def test_queue_kind_metadata_roundtrip():
+    saved = os.environ.get("REPRO_QUEUE")
+    try:
+        os.environ["REPRO_QUEUE"] = "heap"
+        assert Simulator().queue_kind == "heap"
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_QUEUE", None)
+        else:
+            os.environ["REPRO_QUEUE"] = saved
