@@ -24,6 +24,7 @@ Observability (``docs/OBSERVABILITY.md``)::
 
     python -m repro trace --workload smallbank --trace-out /tmp/t.json
     python -m repro metrics --workload retwis
+    python -m repro metrics --diff a.json b.json
     python -m repro fig8d --trace-out fig8d.json
     python -m repro chaos --obs --trace-out chaos.json
     python -m repro fig8d --json        # machine-readable BENCH_fig8d.json
@@ -32,6 +33,16 @@ Observability (``docs/OBSERVABILITY.md``)::
 a Perfetto-loadable Chrome trace; ``--obs``/``--trace-out`` on any
 experiment or on ``chaos`` does the same for that run, and ``--json``
 dumps every experiment's results to ``BENCH_<name>.json``.
+
+Latency attribution and SLO curves (``docs/OBSERVABILITY.md``)::
+
+    python -m repro attrib --workload smallbank
+    python -m repro slo --loads 50000,200000,800000 --arrival bursty --json
+
+``attrib`` decomposes every committed transaction's latency into phases
+(wire, NIC queue/service, DMA, host, lock backoff, ...); ``slo`` drives
+the cluster open-loop at a sweep of offered loads and reports the
+p50/p99/p999 sojourn curve plus the detected SLO knee.
 """
 
 from __future__ import annotations
@@ -43,6 +54,8 @@ import sys
 from .bench import (
     DEFAULT_CHAOS_FAULTS,
     Bench,
+    OpenLoopBench,
+    SloSpec,
     cache_capacity_sweep,
     displacement_limit_sweep,
     figure2_latency,
@@ -57,18 +70,22 @@ from .bench import (
     live_observers,
     offpath_comparison,
     offpath_platform_check,
+    format_slo_report,
     run_chaos,
     run_chaos_seeds,
+    run_slo_points,
     set_default_faults,
     set_default_jobs,
     set_default_obs,
+    slo_report,
     table1_cores,
     table2_lookup,
     table3_thread_counts,
     workload_by_name,
     write_results_json,
 )
-from .obs import (print_metrics_summary, write_chrome_trace,
+from .obs import (attribute_bench, diff_metrics, format_metrics_diff,
+                  print_metrics_summary, write_chrome_trace,
                   write_metrics_json)
 
 # The trace/metrics subcommands default to a light fault plan so the
@@ -229,6 +246,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(metrics)
     metrics.add_argument("--metrics-out", default=None, metavar="FILE",
                          help="also write the metrics JSON dump")
+    metrics.add_argument("--diff", nargs=2, default=None,
+                         metavar=("A.json", "B.json"),
+                         help="compare two metrics JSON dumps (no run)")
+    metrics.add_argument("--all", dest="diff_all", action="store_true",
+                         help="with --diff: include unchanged metrics")
+    attrib = sub.add_parser(
+        "attrib",
+        help="run one observed workload and print the per-phase latency "
+             "attribution (docs/OBSERVABILITY.md)")
+    _add_run_args(attrib)
+    attrib.set_defaults(faults="none")
+    attrib.add_argument("--attrib-out", default=None, metavar="FILE",
+                        help="also write the attribution JSON dump")
+    slo = sub.add_parser(
+        "slo",
+        help="open-loop SLO sweep: sojourn latency vs offered load "
+             "(docs/OBSERVABILITY.md)")
+    slo.add_argument("--workload", default="smallbank",
+                     choices=("smallbank", "retwis", "tpcc", "tpcc_no"),
+                     help="workload to drive")
+    slo.add_argument("--system", default="xenic",
+                     help="xenic | drtmh | drtmh_nc | fasst | drtmr")
+    slo.add_argument("--nodes", type=int, default=3, help="cluster size")
+    slo.add_argument("--loads", default="50000,100000,200000,400000,800000",
+                     metavar="R1,R2,...",
+                     help="offered loads, txn/s per node "
+                          "(default: %(default)s)")
+    slo.add_argument("--arrival", default="poisson",
+                     choices=("poisson", "bursty"),
+                     help="arrival process")
+    slo.add_argument("--burst-factor", type=float, default=4.0,
+                     help="bursty: burst-phase rate multiplier")
+    slo.add_argument("--burst-fraction", type=float, default=0.1,
+                     help="bursty: fraction of each cycle spent bursting")
+    slo.add_argument("--max-inflight", type=int, default=64,
+                     help="admission limit per node")
+    slo.add_argument("--warmup", type=float, default=150.0,
+                     help="warmup before the window, simulated µs")
+    slo.add_argument("--window", type=float, default=600.0,
+                     help="measurement window, simulated µs")
+    slo.add_argument("--seed", type=int, default=7, help="workload seed")
+    slo.add_argument("--slo-p99", type=float, default=100.0, metavar="US",
+                     help="p99 sojourn budget for knee detection, µs")
+    slo.add_argument("--goodput", type=float, default=0.9, metavar="FRAC",
+                     help="min achieved/offered fraction inside the SLO")
+    slo.add_argument("--json", nargs="?", const="BENCH_slo.json",
+                     default=None, metavar="FILE",
+                     help="write the sweep report as JSON "
+                          "(default file: BENCH_slo.json)")
+    slo.add_argument("--attrib", action="store_true",
+                     help="rerun the knee point under the observability "
+                          "layer and print its latency attribution")
+    _add_jobs_arg(slo)
+    _add_fault_args(slo)
     perf = sub.add_parser(
         "perf",
         help="wall-clock performance of the simulator itself "
@@ -306,11 +377,71 @@ def run_trace_command(args) -> int:
 
 
 def run_metrics_command(args) -> int:
+    if args.diff:
+        import json
+
+        with open(args.diff[0]) as fh:
+            a = json.load(fh)
+        with open(args.diff[1]) as fh:
+            b = json.load(fh)
+        print(format_metrics_diff(diff_metrics(a, b),
+                                  only_changed=not args.diff_all))
+        return 0
     bench = _run_observed_bench(args)
     print_metrics_summary(bench.observer)
     if args.metrics_out:
         print("wrote %s" % write_metrics_json(args.metrics_out,
                                               bench.observer))
+    return 0
+
+
+def run_attrib_command(args) -> int:
+    bench = _run_observed_bench(args)
+    result = attribute_bench(bench)
+    print(result.format())
+    if args.attrib_out:
+        import json
+
+        with open(args.attrib_out, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote %s" % args.attrib_out)
+    return 0
+
+
+def run_slo_command(args) -> int:
+    if args.faults and args.faults.lower() not in ("none", "off", ""):
+        set_default_faults(args.faults, args.fault_seed)
+    try:
+        loads = tuple(float(x) for x in args.loads.split(",") if x.strip())
+        spec = SloSpec(
+            system=args.system, workload=args.workload,
+            loads_per_node_s=loads, arrival=args.arrival,
+            burst_factor=args.burst_factor,
+            burst_fraction=args.burst_fraction,
+            max_inflight=args.max_inflight, n_nodes=args.nodes,
+            warmup_us=args.warmup, window_us=args.window, seed=args.seed,
+        )
+        points = run_slo_points(spec, jobs=args.jobs)
+        report = slo_report(spec, points, args.slo_p99,
+                            min_goodput_frac=args.goodput)
+        print(format_slo_report(report))
+        if args.json:
+            print("wrote %s" % write_results_json(args.json, "slo", report))
+        if args.attrib:
+            # Rerun one point observed: the knee if there is one, else the
+            # lowest offered load, and fold the admission-queue waits into
+            # the breakdown as the client_queue phase.
+            load = report["knee_offered_per_node_s"]
+            if load is None:
+                load = min(loads)
+            print("\nattributing offered load %.0f txn/s/node ..." % load)
+            bench = OpenLoopBench(spec, load, obs=True)
+            bench.measure()
+            print(attribute_bench(bench,
+                                  client_queue=bench.queue_waits).format())
+    finally:
+        set_default_faults(None)
     return 0
 
 
@@ -445,7 +576,11 @@ def main(argv=None) -> int:
         print("%-*s  %s" % (width, "trace",
                             "observed run -> Chrome trace export"))
         print("%-*s  %s" % (width, "metrics",
-                            "observed run -> metrics summary"))
+                            "observed run -> metrics summary (--diff a b)"))
+        print("%-*s  %s" % (width, "attrib",
+                            "observed run -> per-phase latency attribution"))
+        print("%-*s  %s" % (width, "slo",
+                            "open-loop sweep -> latency vs offered load"))
         print("%-*s  %s" % (width, "perf",
                             "wall-clock performance of the simulator"))
         return 0
@@ -455,6 +590,10 @@ def main(argv=None) -> int:
         return run_trace_command(args)
     if args.command == "metrics":
         return run_metrics_command(args)
+    if args.command == "attrib":
+        return run_attrib_command(args)
+    if args.command == "slo":
+        return run_slo_command(args)
     if args.command == "perf":
         return run_perf_command(args)
     if getattr(args, "faults", None):

@@ -165,6 +165,9 @@ class BaselineCoordinator:
         self.stats = Counter()
         # Observability sink (repro.obs.Observer); None disables spans.
         self.obs = None
+        # Optional abort callback (bench harnesses record abort latencies
+        # through it); called with the Transaction on every aborted attempt.
+        self.on_abort = None
 
     # -- public API ------------------------------------------------------------
 
@@ -178,6 +181,8 @@ class BaselineCoordinator:
             self.stats.inc("aborts")
             if self.obs is not None:
                 self.obs.txn_abort(self.node.node_id, txn)
+            if self.on_abort is not None:
+                self.on_abort(txn)
             txn.reset_for_retry()
             yield self.sim.timeout(ABORT_BACKOFF_US * min(txn.attempts, 16))
         txn.committed_at = self.sim.now

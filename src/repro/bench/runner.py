@@ -228,6 +228,20 @@ class Bench:
         self._count = 0
         self._aborts_base = 0
         self.counted_label = getattr(workload, "counted_label", None)
+        # Abort accounting: every abort during the measurement window
+        # records how deep into the transaction it struck, plus a
+        # per-reason counter (lock conflict, validation, ...).
+        self._abort_recorder: Optional[LatencyRecorder] = None
+        self._abort_reasons: Dict[str, int] = {}
+        for proto in self.cluster.protocols:
+            proto.on_abort = self._note_abort
+
+    def _note_abort(self, txn) -> None:
+        if not self._counting or self._abort_recorder is None:
+            return
+        self._abort_recorder.record(self.sim.now - txn.started_at)
+        reason = getattr(txn, "abort_reason", None) or "unknown"
+        self._abort_reasons[reason] = self._abort_reasons.get(reason, 0) + 1
 
     # -- load generation ------------------------------------------------------------
 
@@ -275,6 +289,8 @@ class Bench:
         self.ensure_contexts(concurrency_per_node)
         self.sim.run(until=self.sim.now + warmup_us)
         self._recorder = LatencyRecorder()
+        self._abort_recorder = LatencyRecorder()
+        self._abort_reasons = {}
         self._count = 0
         self._counting = True
         aborts0 = self._total_aborts()
@@ -285,7 +301,7 @@ class Bench:
         elapsed = self.sim.now - start
         throughput = self._count / elapsed * 1e6 / self.n_nodes if elapsed else 0.0
         rec = self._recorder
-        return RunResult(
+        result = RunResult(
             system=self.system,
             workload=self.workload.name,
             concurrency=concurrency_per_node,
@@ -298,6 +314,12 @@ class Bench:
             window_us=elapsed,
             extra=self._utilization_snapshot(),
         )
+        # Attached as plain instance attributes, not dataclass fields:
+        # to_jsonable() serializes fields only, so pinned result digests
+        # (tests/test_golden_digest.py) are unaffected.
+        result.abort_latency = self._abort_recorder.summary()
+        result.abort_reasons = dict(self._abort_reasons)
+        return result
 
     def _total_commits(self) -> int:
         return sum(p.stats.get("commits") for p in self.cluster.protocols)

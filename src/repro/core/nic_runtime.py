@@ -110,6 +110,11 @@ class NicRuntime:
         # Optional fault injector (repro.sim.faults): transient NIC-core
         # scheduling stalls inflate compute slices.
         self.injector = None
+        # Latency-attribution sink (repro.obs.Observer) + owning node id;
+        # None keeps nic_compute/handle_message_cost on the branch-free
+        # return-the-generator fast path.
+        self.obs_sink = None
+        self.obs_node = 0
         self.msg_handle_us = (
             MSG_HANDLE_WALL_US_AGGREGATED
             if config.ethernet_aggregation
@@ -118,14 +123,32 @@ class NicRuntime:
 
     # -- compute ------------------------------------------------------------
 
-    def handle_message_cost(self, extra_keys: int = 0):
+    def handle_message_cost(self, extra_keys: int = 0, txn_id=None):
         """Generator: charge a NIC core for handling one inbound message
-        plus per-key index work."""
+        plus per-key index work.  ``txn_id`` labels the span for latency
+        attribution when an observer is attached."""
         cost = self.msg_handle_us + extra_keys * self.config.nic_per_key_us
-        return self.nic.cores.run_wall(cost + self._stall_us())
+        return self.nic_compute(cost, txn_id)
 
-    def nic_compute(self, wall_us: float):
-        return self.nic.cores.run_wall(wall_us + self._stall_us())
+    def nic_compute(self, wall_us: float, txn_id=None):
+        # _stall_us() is drawn eagerly in both paths (exactly once per
+        # call), so attaching an observer never perturbs the fault RNG.
+        cost = wall_us + self._stall_us()
+        if self.obs_sink is None or txn_id is None:
+            return self.nic.cores.run_wall(cost)
+        return self._attrib_run(cost, txn_id)
+
+    def _attrib_run(self, wall_us: float, txn_id: int):
+        """Timing-identical wrapper around ``run_wall`` that records the
+        queue+service interval as an attribution span.  ``svc`` is the
+        known service portion; the attributor splits the rest off as NIC
+        queueing."""
+        start = self.sim.now
+        yield from self.nic.cores.run_wall(wall_us)
+        sink = self.obs_sink
+        if sink is not None:
+            sink.attrib_span("nic", self.obs_node, start, self.sim.now,
+                             txn_id, svc=wall_us)
 
     def _stall_us(self) -> float:
         if self.injector is None:

@@ -71,6 +71,9 @@ class XenicProtocol:
         # Observability sink (repro.obs.Observer); None disables span
         # emission at the cost of one branch per transaction outcome.
         self.obs = None
+        # Optional abort callback (bench harnesses record abort latencies
+        # through it); called with the Transaction on every aborted attempt.
+        self.on_abort = None
         self._req_seq = 0
         # Transport-level exactly-once delivery: outbound messages carry a
         # per-sender wire sequence number; inbound duplicates (retransmit
@@ -88,6 +91,21 @@ class XenicProtocol:
         node.protocol = self
 
     # ------------------------------------------------------------------
+    # latency attribution (repro.obs.attrib)
+    # ------------------------------------------------------------------
+
+    def _t0(self) -> float:
+        """Timestamp for an attribution span; 0.0 on the unobserved fast
+        path (never read: `_attrib` is a no-op without a sink)."""
+        return self.sim.now if self.obs is not None else 0.0
+
+    def _attrib(self, phase: str, t0: float, txn_id: int) -> None:
+        obs = self.obs
+        if obs is not None:
+            obs.attrib_span(phase, self.node.node_id, t0, self.sim.now,
+                            txn_id)
+
+    # ------------------------------------------------------------------
     # host-side API
     # ------------------------------------------------------------------
 
@@ -103,8 +121,12 @@ class XenicProtocol:
             self.stats.inc("aborts")
             if self.obs is not None:
                 self.obs.txn_abort(self.node.node_id, txn)
+            if self.on_abort is not None:
+                self.on_abort(txn)
             txn.reset_for_retry()
+            t0 = self._t0()
             yield self.sim.timeout(ABORT_BACKOFF_US * min(txn.attempts, 16))
+            self._attrib("backoff", t0, txn.txn_id)
         txn.committed_at = self.sim.now
         txn.status = TxnStatus.COMMITTED
         self.stats.inc("commits")
@@ -115,7 +137,9 @@ class XenicProtocol:
     def _attempt(self, txn: Transaction):
         spec = txn.spec
         if spec.local_compute_us > 0:
+            t0 = self._t0()
             yield from self.node.host_app_cores.run(spec.local_compute_us)
+            self._attrib("host", t0, txn.txn_id)
         shards = {self.cluster.shard_of(k) for k in spec.all_keys()}
         own = self.node.node_id
         if (spec.single_round and shards <= {own}
@@ -125,8 +149,11 @@ class XenicProtocol:
         # distributed: hand the transaction state to the coordinator NIC
         fut = self.host_pending.expect(("done", txn.txn_id, txn.attempts))
         self.node.pcie.host_to_nic(self._txn_state_bytes(spec), ("start", txn))
-        ok, _reason = yield fut
+        ok, reason = yield fut
+        txn.abort_reason = None if ok else (reason or "unknown")
+        t0 = self._t0()
         yield from self.node.host_app_cores.run_wall(HOST_COMPLETE_US)
+        self._attrib("host", t0, txn.txn_id)
         return ok
 
     def _txn_state_bytes(self, spec: TxnSpec) -> int:
@@ -142,9 +169,11 @@ class XenicProtocol:
         table = self.node.tables[shard]
         n_keys = len(spec.all_keys())
         # optimistic execution on the host against the host-side table
+        t0 = self._t0()
         yield from self.node.host_app_cores.run_wall(
             self.config.host_per_key_us * max(1, n_keys)
         )
+        self._attrib("host", t0, txn.txn_id)
         for k in spec.read_keys:
             value, version = self.node.read_local(k)
             if value is TOMBSTONE:
@@ -156,14 +185,17 @@ class XenicProtocol:
             self.stats.inc("local_readonly")
             return True
         if spec.logic_cost_us > 0:
+            t0 = self._t0()
             yield from self.node.host_app_cores.run(spec.logic_cost_us)
+            self._attrib("host", t0, txn.txn_id)
         txn.write_values = txn.run_logic()
         fut = self.host_pending.expect(("done", txn.txn_id, txn.attempts))
         state_bytes = self._txn_state_bytes(spec) + sum(
             10 + self._value_bytes(k) for k in txn.write_values
         )
         self.node.pcie.host_to_nic(state_bytes, ("local_commit", txn))
-        ok, _reason = yield fut
+        ok, reason = yield fut
+        txn.abort_reason = None if ok else (reason or "unknown")
         return ok
 
     def _nic_local_commit(self, txn: Transaction):
@@ -171,7 +203,8 @@ class XenicProtocol:
         validate against the authoritative NIC versions, replicate, commit."""
         index = self.node.index
         shard = self.node.node_id
-        yield from self.runtime.handle_message_cost(len(txn.spec.all_keys()))
+        yield from self.runtime.handle_message_cost(len(txn.spec.all_keys()),
+                                                    txn.txn_id)
         locked: List[int] = []
         ok = True
         for k in txn.write_values:
@@ -217,7 +250,7 @@ class XenicProtocol:
 
     def _nic_coordinate(self, txn: Transaction):
         spec = txn.spec
-        yield from self.runtime.nic_compute(NIC_ADMIT_US)
+        yield from self.runtime.nic_compute(NIC_ADMIT_US, txn.txn_id)
         by_shard = self._group_by_shard(spec)
         if self._multihop_applicable(txn, by_shard):
             yield from self._multihop(txn, by_shard)
@@ -305,7 +338,13 @@ class XenicProtocol:
         if self.config.nic_execution and spec.ship_execution:
             # execute on the coordinator-side NIC (§4.2.2): reference cost
             # scaled by the wimpy-core ratio
+            t0 = self._t0()
             yield from self.node.nic.cores.run(spec.logic_cost_us)
+            obs = self.obs
+            if obs is not None:
+                obs.attrib_span(
+                    "nic", self.node.node_id, t0, self.sim.now, txn.txn_id,
+                    svc=self.node.nic.cores.service_us(spec.logic_cost_us))
             self.stats.inc("nic_executions")
             return txn.run_logic()
         # PCIe roundtrip to the host for application execution
@@ -344,7 +383,9 @@ class XenicProtocol:
                     )
                     if inline:
                         req.versions = {"inline": 1}  # flag: validate inline
+                    t0 = self._t0()
                     resp0 = yield self._send_request(primary, req)
+                    self._attrib("wire", t0, txn.txn_id)
             ok = True
             reason = None
             if resp0.ok:
@@ -392,11 +433,13 @@ class XenicProtocol:
                                          txn.coord_node, read_keys=[k]),
                         )
                     )
+        t0 = self._t0()
         if len(evs) == 1:
             resp0 = yield evs[0]
             responses = (resp0,)
         else:
             responses = yield self.sim.all_of(evs)
+        self._attrib("wire", t0, txn.txn_id)
         if not smart:
             lock_evs = []
             for shard, (_rkeys, wkeys) in by_shard.items():
@@ -412,7 +455,9 @@ class XenicProtocol:
                             take_request(EXECUTE, txn.txn_id, shard,
                                          txn.coord_node, write_keys=[k])))
             if lock_evs:
+                t0 = self._t0()
                 lock_responses = yield self.sim.all_of(lock_evs)
+                self._attrib("wire", t0, txn.txn_id)
                 responses = list(responses) + list(lock_responses)
         ok = True
         reason = None
@@ -465,11 +510,13 @@ class XenicProtocol:
                     resp0 = yield from self._validate_core(
                         shard, txn.txn_id, versions)
                 else:
+                    t0 = self._t0()
                     resp0 = yield self._send_request(
                         primary,
                         take_request(VALIDATE, txn.txn_id, shard,
                                      txn.coord_node, versions=versions),
                     )
+                    self._attrib("wire", t0, txn.txn_id)
             ok = resp0.ok
             reason = None if ok else (resp0.reason or "validate-abort")
             recycle_response(resp0)
@@ -501,11 +548,13 @@ class XenicProtocol:
                                          txn.coord_node, versions={k: ver}),
                         )
                     )
+        t0 = self._t0()
         if len(evs) == 1:
             resp0 = yield evs[0]
             responses = (resp0,)
         else:
             responses = yield self.sim.all_of(evs)
+        self._attrib("wire", t0, txn.txn_id)
         ok = True
         reason = None
         for resp in responses:
@@ -585,11 +634,13 @@ class XenicProtocol:
                     value_bytes=txn.spec.write_bytes,
                 )
                 evs.append(self._send_request(backup, req))
+        t0 = self._t0()
         if len(evs) == 1:
             resp0 = yield evs[0]
             responses = (resp0,)
         else:
             responses = yield self.sim.all_of(evs)
+        self._attrib("wire", t0, txn.txn_id)
         ok = True
         for r in responses:
             if not r.ok:
@@ -608,12 +659,14 @@ class XenicProtocol:
                     # single local commit: run inline, no spawn
                     yield from self._commit_local(txn, shard, writes)
                 else:
+                    t0 = self._t0()
                     resp0 = yield self._send_request(
                         self.cluster.primary_node_id(shard),
                         take_request(COMMIT, txn.txn_id, shard,
                                      txn.coord_node, write_values=writes,
                                      value_bytes=txn.spec.write_bytes),
                     )
+                    self._attrib("wire", t0, txn.txn_id)
                     recycle_response(resp0)
             return
         evs = []
@@ -635,12 +688,15 @@ class XenicProtocol:
                                      value_bytes=txn.spec.write_bytes),
                     )
                 )
+        t0 = self._t0()
         if len(evs) == 1:
             resp0 = yield evs[0]
+            self._attrib("wire", t0, txn.txn_id)
             if resp0 is not None:
                 recycle_response(resp0)
         else:
             responses = yield self.sim.all_of(evs)
+            self._attrib("wire", t0, txn.txn_id)
             for r in responses:
                 # local commits (_commit_local) recycle their own response
                 # and resolve to None
@@ -681,6 +737,7 @@ class XenicProtocol:
                                    write_keys=list(keys))
                 evs.append(self._send_request(primary, req))
         if evs:
+            t0 = self._t0()
             if len(evs) == 1:
                 resp0 = yield evs[0]
                 recycle_response(resp0)
@@ -688,6 +745,7 @@ class XenicProtocol:
                 responses = yield self.sim.all_of(evs)
                 for r in responses:
                     recycle_response(r)
+            self._attrib("wire", t0, txn.txn_id)
         txn.clear_locks()
 
     # ------------------------------------------------------------------
@@ -720,7 +778,8 @@ class XenicProtocol:
         # Lock every local key (reads too: execution happens remotely, so
         # the lock stands in for validation) and gather local read values.
         yield from self.runtime.nic_compute(
-            NIC_ADMIT_US + self.config.nic_per_key_us * len(local_keys)
+            NIC_ADMIT_US + self.config.nic_per_key_us * len(local_keys),
+            txn.txn_id,
         )
         locked: List[int] = []
         for k in local_keys:
@@ -735,10 +794,12 @@ class XenicProtocol:
         if local_reads:
             if len(local_reads) == 1:
                 k0 = local_reads[0]
-                pre_read[k0] = yield from self._fetch_value(local, k0)
+                pre_read[k0] = yield from self._fetch_value(local, k0,
+                                                            txn.txn_id)
             else:
                 fetched = yield self.sim.all_of([
-                    self.sim.spawn(self._fetch_value(local, k), name="fetch")
+                    self.sim.spawn(self._fetch_value(local, k, txn.txn_id),
+                                   name="fetch")
                     for k in local_reads
                 ])
                 for k, vv in zip(local_reads, fetched):
@@ -758,7 +819,9 @@ class XenicProtocol:
             read_keys=rkeys, write_keys=wkeys,
             spec=spec, pre_read=pre_read, reply_to=self.node.node_id,
         )
+        t0 = self._t0()
         resp = yield self._send_request(remote_primary, req)
+        self._attrib("wire", t0, txn.txn_id)
         if not resp.ok:
             self.runtime.pending.cancel(ack_key)
             for k in locked:
@@ -770,7 +833,9 @@ class XenicProtocol:
         # fields are reassigned, never cleared in place)
         txn.write_values = resp.write_values
         recycle_response(resp)
+        t0 = self._t0()
         acks = yield fut_acks
+        self._attrib("wire", t0, txn.txn_id)
         ok = True
         for a in acks:
             if not a.ok:
@@ -782,10 +847,12 @@ class XenicProtocol:
                 index.unlock(k, txn.txn_id)
             # awaited so a delayed release can't outlive this attempt and
             # steal the lock from the retry (same txn_id re-locks)
+            t0 = self._t0()
             uresp = yield self._send_request(
                 remote_primary,
                 take_request(UNLOCK, txn.txn_id, remote, txn.coord_node,
                              write_keys=rkeys + wkeys))
+            self._attrib("wire", t0, txn.txn_id)
             recycle_response(uresp)
             self._notify_host(txn, False, "multihop-log-failed")
             return
@@ -811,7 +878,9 @@ class XenicProtocol:
                            write_values=remote_writes,
                            value_bytes=txn.spec.write_bytes)
         req.read_keys = [k for k in rkeys if k not in remote_writes]
+        t0 = self._t0()
         cresp = yield self._send_request(remote_primary, req)
+        self._attrib("wire", t0, txn.txn_id)
         recycle_response(cresp)
 
     def _handle_exec_ship(self, req: Request):
@@ -822,7 +891,7 @@ class XenicProtocol:
         read, validate, then log), so reads never block other readers."""
         index = self.node.index_for(req.shard)
         keys = list(dict.fromkeys(req.read_keys + req.write_keys))
-        yield from self.runtime.handle_message_cost(len(keys))
+        yield from self.runtime.handle_message_cost(len(keys), req.txn_id)
         locked: List[int] = []
         for k in req.write_keys:
             if not index.try_lock(k, req.txn_id):
@@ -835,10 +904,12 @@ class XenicProtocol:
         if req.read_keys:
             if len(req.read_keys) == 1:
                 k0 = req.read_keys[0]
-                read_values[k0] = yield from self._fetch_value(req.shard, k0)
+                read_values[k0] = yield from self._fetch_value(req.shard, k0,
+                                                               req.txn_id)
             else:
                 fetched = yield self.sim.all_of([
-                    self.sim.spawn(self._fetch_value(req.shard, k),
+                    self.sim.spawn(self._fetch_value(req.shard, k,
+                                                     req.txn_id),
                                    name="fetch")
                     for k in req.read_keys
                 ])
@@ -859,7 +930,13 @@ class XenicProtocol:
         shadow = Transaction(req.txn_id, req.coord_node, spec)
         shadow.read_values.update(req.pre_read)
         shadow.read_values.update(read_values)
+        t0 = self._t0()
         yield from self.node.nic.cores.run(spec.logic_cost_us)
+        obs = self.obs
+        if obs is not None:
+            obs.attrib_span(
+                "nic", self.node.node_id, t0, self.sim.now, req.txn_id,
+                svc=self.node.nic.cores.service_us(spec.logic_cost_us))
         write_values = shadow.run_logic()
         self.stats.inc("shipped_executions")
 
@@ -931,7 +1008,7 @@ class XenicProtocol:
         index = self.node.index_for(shard)
         n_keys = len(read_keys) + len(write_keys)
         yield from self.runtime.nic_compute(
-            self.config.nic_per_key_us * max(1, n_keys)
+            self.config.nic_per_key_us * max(1, n_keys), txn_id
         )
         locked: List[int] = []
         for k in write_keys:
@@ -948,10 +1025,12 @@ class XenicProtocol:
                 # single fetch: run inline in this frame — no Process spawn,
                 # no start event, no completion event
                 k0 = read_keys[0]
-                read_values[k0] = yield from self._fetch_value(shard, k0)
+                read_values[k0] = yield from self._fetch_value(shard, k0,
+                                                               txn_id)
             else:
                 fetched = yield self.sim.all_of([
-                    self.sim.spawn(self._fetch_value(shard, k), name="fetch")
+                    self.sim.spawn(self._fetch_value(shard, k, txn_id),
+                                   name="fetch")
                     for k in read_keys
                 ])
                 for k, vv in zip(read_keys, fetched):
@@ -969,7 +1048,7 @@ class XenicProtocol:
         return take_response(EXECUTE, txn_id, shard, True,
                              read_values=read_values, versions=versions)
 
-    def _fetch_value(self, shard: int, key: int):
+    def _fetch_value(self, shard: int, key: int, txn_id=None):
         """Fetch one object's (value, version) at this (primary) NIC:
         cache hit from NIC DRAM, else DMA read(s) sized by the index hints.
 
@@ -986,11 +1065,14 @@ class XenicProtocol:
                     value = None
                 return value, index.read_version(key)
         cost = index.miss_cost(key)
+        t0 = self._t0()
         yield self.runtime.dma_read(cost.first_read_bytes)
         if cost.second_read_bytes:
             yield self.runtime.dma_read(cost.second_read_bytes)
         if cost.extra_object_bytes:
             yield self.runtime.dma_read(cost.extra_object_bytes)
+        if txn_id is not None:
+            self._attrib("dma", t0, txn_id)
         # a commit may have landed while the DMA was in flight, in which
         # case the fresh value is pinned in the cache — prefer it
         hit, value = index.cache_lookup(key)
@@ -1006,7 +1088,7 @@ class XenicProtocol:
                        versions: Dict[int, int]):
         index = self.node.index_for(shard)
         yield from self.runtime.nic_compute(
-            self.config.nic_per_key_us * max(1, len(versions))
+            self.config.nic_per_key_us * max(1, len(versions)), txn_id
         )
         for k, ver in versions.items():
             if index.is_locked(k, txn_id) or index.read_version(k) != ver:
@@ -1021,15 +1103,20 @@ class XenicProtocol:
             (k, v, req.versions.get(k, 0) + 1) for k, v in req.write_values.items()
         ]
         record = LogRecord(req.txn_id, "log", req.shard, writes)
-        while self.node.log.full:
-            self.stats.inc("log_backpressure")
-            yield self.sim.timeout(LOG_RETRY_US)
+        if self.node.log.full:
+            t0 = self._t0()
+            while self.node.log.full:
+                self.stats.inc("log_backpressure")
+                yield self.sim.timeout(LOG_RETRY_US)
+            self._attrib("log_wait", t0, req.txn_id)
         vb = req.value_bytes if req.value_bytes is not None \
             else self.cluster.value_size
         nbytes = record_size_bytes(len(writes), vb)
         # the DMA write IS the append: the record only becomes visible to
         # the host workers once the bytes land in host memory
+        t0 = self._t0()
         yield self.runtime.dma_log_append(nbytes)
+        self._attrib("dma", t0, req.txn_id)
         self.node.append_log(record)
         return take_response(LOG, req.txn_id, req.shard, True)
 
@@ -1046,13 +1133,18 @@ class XenicProtocol:
             for k, v in req.write_values.items()
         ]
         record = LogRecord(req.txn_id, "commit", req.shard, writes)
-        while self.node.log.full:
-            self.stats.inc("log_backpressure")
-            yield self.sim.timeout(LOG_RETRY_US)
+        if self.node.log.full:
+            t0 = self._t0()
+            while self.node.log.full:
+                self.stats.inc("log_backpressure")
+                yield self.sim.timeout(LOG_RETRY_US)
+            self._attrib("log_wait", t0, req.txn_id)
         vb = req.value_bytes if req.value_bytes is not None \
             else self.cluster.value_size
         nbytes = record_size_bytes(len(writes), vb)
+        t0 = self._t0()
         yield self.runtime.dma_log_append(nbytes)
+        self._attrib("dma", t0, req.txn_id)
         # apply to the NIC cache (pinning) before the host can see the
         # record, so the unpin ack can never race ahead of the pin
         for k, v, _ver in writes:
@@ -1077,7 +1169,8 @@ class XenicProtocol:
     def _unlock_core(self, req: Request):
         index = self.node.index_for(req.shard)
         yield from self.runtime.nic_compute(
-            self.config.nic_per_key_us * max(1, len(req.write_keys))
+            self.config.nic_per_key_us * max(1, len(req.write_keys)),
+            req.txn_id,
         )
         for k in req.write_keys:
             meta = index._meta.get(k)
@@ -1208,7 +1301,7 @@ class XenicProtocol:
         recycle_request(req)
 
     def _handle_execute_req(self, req: Request):
-        yield from self.runtime.handle_message_cost(0)
+        yield from self.runtime.handle_message_cost(0, req.txn_id)
         inline = bool(req.versions.pop("inline", None))
         resp = yield from self._execute_core(
             req.shard, req.txn_id, req.read_keys, req.write_keys, inline
@@ -1216,23 +1309,25 @@ class XenicProtocol:
         return resp
 
     def _handle_validate_req(self, req: Request):
-        yield from self.runtime.handle_message_cost(0)
+        yield from self.runtime.handle_message_cost(0, req.txn_id)
         resp = yield from self._validate_core(req.shard, req.txn_id,
                                               req.versions)
         return resp
 
     def _handle_log_req(self, req: Request):
-        yield from self.runtime.handle_message_cost(len(req.write_values))
+        yield from self.runtime.handle_message_cost(len(req.write_values),
+                                                    req.txn_id)
         resp = yield from self._log_core(req)
         return resp
 
     def _handle_commit_req(self, req: Request):
-        yield from self.runtime.handle_message_cost(len(req.write_values))
+        yield from self.runtime.handle_message_cost(len(req.write_values),
+                                                    req.txn_id)
         resp = yield from self._commit_core(req)
         return resp
 
     def _handle_unlock_req(self, req: Request):
-        yield from self.runtime.handle_message_cost(0)
+        yield from self.runtime.handle_message_cost(0, req.txn_id)
         resp = yield from self._unlock_core(req)
         return resp
 
@@ -1251,7 +1346,8 @@ class XenicProtocol:
             recycle_response(resp)
             recycle_request(req)
         elif req.kind == LOG:
-            yield from self.runtime.handle_message_cost(len(req.write_values))
+            yield from self.runtime.handle_message_cost(len(req.write_values),
+                                                        req.txn_id)
             resp = yield from self._log_core(req)
             self._deliver_log_ack(req.reply_to, req.txn_id, resp)
             recycle_request(req)
@@ -1299,7 +1395,9 @@ class XenicProtocol:
             raise RuntimeError("unknown pcie->host tag %r" % (tag,))
 
     def _host_run_logic(self, txn: Transaction, round_no: int = 0):
+        t0 = self._t0()
         yield from self.node.host_app_cores.run(txn.spec.logic_cost_us)
+        self._attrib("host", t0, txn.txn_id)
         result = txn.run_logic()
         if isinstance(result, NeedMoreKeys):
             nbytes = 16 + 10 * (len(result.read_keys) + len(result.write_keys))

@@ -15,16 +15,26 @@ installed the instrumentation hooks cost a single predicate per event.
 See ``docs/OBSERVABILITY.md``.
 """
 
+from .attrib import (ATTRIB_PHASES, AttributionResult, LatencyAttributor,
+                     TxnAttribution, attribute_bench)
 from .events import EventLog, InstantEvent, SpanEvent
-from .export import (chrome_trace_events, dumps_chrome_trace,
-                     metrics_to_dict, print_metrics_summary,
-                     write_chrome_trace, write_metrics_json)
+from .export import (chrome_trace_events, diff_metrics, dumps_chrome_trace,
+                     format_metrics_diff, metrics_to_dict,
+                     print_metrics_summary, write_chrome_trace,
+                     write_metrics_json)
 from .interpose import interpose, interposers_of, remove_interposers
 from .observer import Observer
 from .registry import MetricsRegistry, Sampler
 
 __all__ = [
     "Observer",
+    "ATTRIB_PHASES",
+    "AttributionResult",
+    "LatencyAttributor",
+    "TxnAttribution",
+    "attribute_bench",
+    "diff_metrics",
+    "format_metrics_diff",
     "MetricsRegistry",
     "Sampler",
     "EventLog",

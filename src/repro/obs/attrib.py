@@ -1,0 +1,356 @@
+"""Per-transaction latency attribution (docs/OBSERVABILITY.md).
+
+Decomposes every committed transaction's end-to-end latency into
+mutually exclusive phases by sweeping the annotated span tree the
+:class:`~repro.obs.observer.Observer` collects.  The simulator has one
+global clock, so spans recorded on *different* nodes (the coordinator's
+wire waits, a remote primary's handler, a backup's DMA log append) are
+directly comparable: the attributor partitions the transaction's
+``[started_at, committed_at]`` interval over all of them, which makes
+the per-phase breakdown sum to the measured latency *exactly*.
+
+Phases, from highest to lowest claim priority when spans overlap:
+
+* ``backoff`` — abort-retry backoff sleeps on the coordinator host;
+* ``dma`` — waits on host-memory DMA (index misses, log appends);
+* ``log_wait`` — back-pressure retry loops on a full host log;
+* ``nic_service`` / ``nic_queue`` — NIC-core compute split into service
+  time vs time queued for a free NIC core (the runtime stamps the known
+  service cost on each span);
+* ``host`` — host-core compute (app logic, local fast path, completion);
+* ``handler`` — residual server-side handler time not claimed above;
+* ``wire`` — coordinator waits on remote request/response rounds not
+  otherwise attributed (network + remote queueing);
+* ``coord`` — residual coordinator-NIC phase time;
+* ``other`` — whatever no span claims (PCIe hops, scheduling gaps).
+
+``client_queue`` (open-loop admission wait, measured by the SLO harness)
+rides along when a wait map is supplied; it extends the end-to-end
+latency rather than partitioning it.
+
+Aborted attempts are accounted separately: per-reason counters from the
+abort instants, so abort storms are visible next to the commit-latency
+breakdown instead of silently improving it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.stats import LogHistogram
+from .events import InstantEvent, SpanEvent
+
+__all__ = ["ATTRIB_PHASES", "TxnAttribution", "AttributionResult",
+           "LatencyAttributor", "attribute_bench"]
+
+# Every phase the attributor can emit, in report order.
+ATTRIB_PHASES = (
+    "client_queue", "backoff", "dma", "log_wait", "nic_service",
+    "nic_queue", "host", "handler", "wire", "coord", "other",
+)
+
+# Claim priority under overlap: a DMA wait inside a server handler span
+# inside a coordinator phase span is DMA, not handler or coord.
+_PRIORITY = {
+    "backoff": 90,
+    "dma": 80,
+    "log_wait": 75,
+    "nic_service": 70,
+    "nic_queue": 65,
+    "host": 60,
+    "handler": 40,
+    "wire": 30,
+    "coord": 20,
+    "other": 0,
+}
+
+# Tie-break for the dominant phase when two phases hold equal time.
+_DOMINANT_ORDER = {name: i for i, name in enumerate(ATTRIB_PHASES)}
+
+
+class TxnAttribution:
+    """One committed transaction's phase breakdown."""
+
+    __slots__ = ("txn_id", "label", "node", "started_at", "latency_us",
+                 "attempts", "phases")
+
+    def __init__(self, txn_id: int, label: str, node: int, started_at: float,
+                 latency_us: float, attempts: int,
+                 phases: Dict[str, float]):
+        self.txn_id = txn_id
+        self.label = label
+        self.node = node
+        self.started_at = started_at
+        self.latency_us = latency_us
+        self.attempts = attempts
+        self.phases = phases
+
+    @property
+    def dominant(self) -> str:
+        """The critical-path phase: largest share of this txn's latency."""
+        best = "other"
+        best_v = -1.0
+        for name, v in self.phases.items():
+            if v > best_v or (v == best_v and
+                              _DOMINANT_ORDER.get(name, 99)
+                              < _DOMINANT_ORDER.get(best, 99)):
+                best, best_v = name, v
+        return best
+
+    @property
+    def total_us(self) -> float:
+        """Sum over phases == client_queue + end-to-end latency."""
+        return sum(self.phases.values())
+
+    def residual_us(self) -> float:
+        """|phase sum - measured latency| (client queueing excluded);
+        zero up to float rounding by construction."""
+        attributed = self.total_us - self.phases.get("client_queue", 0.0)
+        return abs(attributed - self.latency_us)
+
+
+class AttributionResult:
+    """Aggregated attribution over one observed run."""
+
+    def __init__(self):
+        self.txns: List[TxnAttribution] = []
+        self.phase_totals: Dict[str, float] = {p: 0.0 for p in ATTRIB_PHASES}
+        self.phase_hists: Dict[str, LogHistogram] = {
+            p: LogHistogram() for p in ATTRIB_PHASES}
+        self.dominant_counts: Dict[str, int] = {}
+        self.abort_reasons: Dict[str, int] = {}
+        self.aborted_attempts = 0
+        self.events_dropped = 0
+
+    # -- accumulation ----------------------------------------------------
+
+    def _add(self, txn: TxnAttribution) -> None:
+        self.txns.append(txn)
+        for name, v in txn.phases.items():
+            self.phase_totals[name] += v
+            if v > 0:
+                self.phase_hists[name].add(v)
+        dom = txn.dominant
+        self.dominant_counts[dom] = self.dominant_counts.get(dom, 0) + 1
+
+    # -- summaries -------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.txns)
+
+    @property
+    def total_latency_us(self) -> float:
+        return sum(t.latency_us for t in self.txns)
+
+    def max_residual_frac(self) -> float:
+        """Worst-case |phase sum - latency| / latency over all txns."""
+        worst = 0.0
+        for t in self.txns:
+            if t.latency_us > 0:
+                worst = max(worst, t.residual_us() / t.latency_us)
+        return worst
+
+    def phase_share(self, name: str) -> float:
+        total = sum(self.phase_totals.values())
+        return self.phase_totals.get(name, 0.0) / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        phases = {}
+        for name in ATTRIB_PHASES:
+            h = self.phase_hists[name]
+            phases[name] = {
+                "total_us": self.phase_totals[name],
+                "share": self.phase_share(name),
+                "txns": h.count,
+                "mean_us": h.mean if h.count else 0.0,
+                "p99_us": h.percentile(99) if h.count else 0.0,
+            }
+        return {
+            "txns": self.count,
+            "total_latency_us": self.total_latency_us,
+            "max_residual_frac": self.max_residual_frac(),
+            "phases": phases,
+            "dominant": dict(sorted(self.dominant_counts.items())),
+            "abort_reasons": dict(sorted(self.abort_reasons.items())),
+            "aborted_attempts": self.aborted_attempts,
+            "events_dropped": self.events_dropped,
+        }
+
+    def format(self) -> str:
+        # Imported lazily: repro.bench imports repro.obs, so a module-level
+        # import here would be circular.
+        from ..bench.report import format_table
+
+        rows = []
+        for name in ATTRIB_PHASES:
+            h = self.phase_hists[name]
+            if not h.count and not self.phase_totals[name]:
+                continue
+            rows.append([
+                name,
+                "%.1f" % self.phase_totals[name],
+                "%.1f%%" % (100.0 * self.phase_share(name)),
+                h.count,
+                "%.2f" % (h.mean if h.count else 0.0),
+                "%.2f" % (h.percentile(99) if h.count else 0.0),
+            ])
+        out = [
+            "latency attribution (%d txns, avg %.1fus)"
+            % (self.count,
+               self.total_latency_us / self.count if self.count else 0.0),
+            format_table(
+                ["phase", "total us", "share", "txns", "mean us", "p99 us"],
+                rows),
+        ]
+        if self.dominant_counts:
+            dom = ", ".join("%s=%d" % kv for kv in
+                            sorted(self.dominant_counts.items(),
+                                   key=lambda kv: -kv[1]))
+            out.append("dominant phase: %s" % dom)
+        if self.abort_reasons:
+            ab = ", ".join("%s=%d" % kv
+                           for kv in sorted(self.abort_reasons.items(),
+                                            key=lambda kv: -kv[1]))
+            out.append("aborted attempts: %d (%s)"
+                       % (self.aborted_attempts, ab))
+        out.append("max per-txn residual: %.3f%% of end-to-end latency"
+                   % (100.0 * self.max_residual_frac()))
+        return "\n".join(out)
+
+
+class LatencyAttributor:
+    """Post-hoc attribution over an Observer's event log."""
+
+    def __init__(self, observer):
+        self.observer = observer
+
+    def attribute(
+        self,
+        client_queue: Optional[Dict[int, float]] = None,
+        window: Optional[Tuple[float, float]] = None,
+    ) -> AttributionResult:
+        """Attribute every committed transaction in the log.
+
+        ``client_queue`` maps txn_id -> open-loop admission wait (µs),
+        reported as the ``client_queue`` phase.  ``window`` restricts the
+        result to transactions that *committed* inside ``[lo, hi)``.
+        """
+        log = self.observer.log
+        result = AttributionResult()
+        result.events_dropped = log.dropped
+        txn_spans: List[SpanEvent] = []
+        by_txn: Dict[int, List[SpanEvent]] = {}
+        for ev in log:
+            if isinstance(ev, SpanEvent):
+                if ev.cat == "txn":
+                    txn_spans.append(ev)
+                elif ev.txn_id is not None and ev.cat in (
+                        "attrib", "server", "phase"):
+                    by_txn.setdefault(ev.txn_id, []).append(ev)
+            elif (isinstance(ev, InstantEvent) and ev.cat == "txn"
+                  and ev.name == "abort"):
+                if window is not None and not (
+                        window[0] <= ev.ts < window[1]):
+                    continue
+                reason = (ev.args or {}).get("reason", "unknown")
+                result.abort_reasons[reason] = \
+                    result.abort_reasons.get(reason, 0) + 1
+                result.aborted_attempts += 1
+        for ev in txn_spans:
+            end = ev.ts + ev.dur
+            if window is not None and not (window[0] <= end < window[1]):
+                continue
+            phases = self._sweep(ev.ts, end,
+                                 by_txn.get(ev.txn_id, ()))
+            if client_queue is not None:
+                wait = client_queue.get(ev.txn_id)
+                if wait:
+                    phases["client_queue"] = wait
+            result._add(TxnAttribution(
+                ev.txn_id, ev.name, ev.node, ev.ts, ev.dur,
+                (ev.args or {}).get("attempts", 1), phases))
+        return result
+
+    # -- the interval sweep ----------------------------------------------
+
+    @staticmethod
+    def _intervals(s: float, e: float, spans) -> List[Tuple[float, float, str]]:
+        """Labelled intervals clipped to the txn window [s, e]."""
+        out: List[Tuple[float, float, str]] = []
+
+        def clip(a: float, b: float, label: str) -> None:
+            a, b = max(a, s), min(b, e)
+            if b > a:
+                out.append((a, b, label))
+
+        for ev in spans:
+            t0, t1 = ev.ts, ev.ts + ev.dur
+            if ev.cat == "server":
+                clip(t0, t1, "handler")
+            elif ev.cat == "phase":
+                clip(t0, t1, "coord")
+            elif ev.name == "nic":
+                svc = (ev.args or {}).get("svc")
+                if svc is None:
+                    clip(t0, t1, "nic_service")
+                else:
+                    mid = max(t0, t1 - svc)
+                    clip(t0, mid, "nic_queue")
+                    clip(mid, t1, "nic_service")
+            else:
+                clip(t0, t1, ev.name)
+        return out
+
+    @classmethod
+    def _sweep(cls, s: float, e: float, spans) -> Dict[str, float]:
+        """Partition [s, e] among the labelled intervals by priority;
+        unclaimed time becomes ``other``.  Exact by construction: every
+        elementary segment is charged to exactly one phase."""
+        phases = {p: 0.0 for p in ATTRIB_PHASES if p != "client_queue"}
+        if e <= s:
+            return phases
+        intervals = cls._intervals(s, e, spans)
+        if not intervals:
+            phases["other"] = e - s
+            return phases
+        # boundary sweep with an active-count per label
+        events: List[Tuple[float, int, str]] = []
+        for a, b, label in intervals:
+            events.append((a, 1, label))
+            events.append((b, -1, label))
+        events.sort(key=lambda t: t[0])
+        points = sorted({s, e, *(t[0] for t in events)})
+        active: Dict[str, int] = {}
+        idx = 0
+        for i in range(len(points) - 1):
+            a, b = points[i], points[i + 1]
+            while idx < len(events) and events[idx][0] <= a:
+                _, delta, label = events[idx]
+                n = active.get(label, 0) + delta
+                if n:
+                    active[label] = n
+                else:
+                    active.pop(label, None)
+                idx += 1
+            if a < s or b > e:
+                continue
+            winner = "other"
+            best = -1
+            for label in active:
+                pr = _PRIORITY.get(label, 0)
+                if pr > best:
+                    best = pr
+                    winner = label
+            phases[winner] += b - a
+        return phases
+
+
+def attribute_bench(bench, client_queue: Optional[Dict[int, float]] = None,
+                    window: Optional[Tuple[float, float]] = None
+                    ) -> AttributionResult:
+    """Attribute a finished observed :class:`~repro.bench.runner.Bench`
+    (or any object exposing ``.observer``)."""
+    observer = getattr(bench, "observer", None) or bench
+    return LatencyAttributor(observer).attribute(
+        client_queue=client_queue, window=window)

@@ -29,7 +29,8 @@ from .events import InstantEvent, SpanEvent
 from .observer import Observer
 
 __all__ = ["chrome_trace_events", "dumps_chrome_trace", "write_chrome_trace",
-           "metrics_to_dict", "write_metrics_json", "print_metrics_summary"]
+           "metrics_to_dict", "write_metrics_json", "print_metrics_summary",
+           "diff_metrics", "format_metrics_diff"]
 
 # Synthetic pid for cluster-scoped events (nodes use their own ids).
 CLUSTER_PID = 999
@@ -175,9 +176,99 @@ def print_metrics_summary(observer: Observer) -> None:
         val = g["last"] if g["last"] is not None else float("nan")
         rows.append(["gauge", name, val])
     for name, h in sorted(data["metrics"]["histograms"].items()):
-        rows.append(["hist p50/p99", name,
-                     "%.2f / %.2f" % (h["p50"] or 0.0, h["p99"] or 0.0)])
+        rows.append(["hist p50/p99/p999", name,
+                     "%.2f / %.2f / %.2f"
+                     % (h["p50"] or 0.0, h["p99"] or 0.0,
+                        h.get("p999") or 0.0)])
     print_table("observability metrics", ["kind", "metric", "value"], rows)
     print("spans=%d instants=%d dropped=%d sampler_ticks=%d"
           % (data["spans"], data["instants"], data["events_dropped"],
              data["sampler_ticks"]))
+
+
+# ---------------------------------------------------------------------------
+# metrics diff (python -m repro metrics --diff a.json b.json)
+# ---------------------------------------------------------------------------
+
+_HIST_QUANTILES = ("p50", "p99", "p999")
+
+
+def diff_metrics(a: dict, b: dict) -> dict:
+    """Structured diff of two :func:`metrics_to_dict` exports.
+
+    Counters compare as deltas (``b - a``); histograms as percentile
+    shifts per quantile; gauges by their final sampled value.  Metrics
+    present in only one export show the other side as ``None``.
+    """
+    am = a.get("metrics", a)
+    bm = b.get("metrics", b)
+
+    def union(kind):
+        return sorted(set(am.get(kind, {})) | set(bm.get(kind, {})))
+
+    counters = {}
+    for name in union("counters"):
+        va = am.get("counters", {}).get(name)
+        vb = bm.get("counters", {}).get(name)
+        counters[name] = {
+            "a": va, "b": vb,
+            "delta": (vb - va) if va is not None and vb is not None else None,
+        }
+    histograms = {}
+    for name in union("histograms"):
+        ha = am.get("histograms", {}).get(name) or {}
+        hb = bm.get("histograms", {}).get(name) or {}
+        entry = {"count_a": ha.get("count"), "count_b": hb.get("count")}
+        for q in _HIST_QUANTILES:
+            qa, qb = ha.get(q), hb.get(q)
+            entry[q] = {
+                "a": qa, "b": qb,
+                "shift": (qb - qa) if qa is not None and qb is not None
+                else None,
+            }
+        histograms[name] = entry
+    gauges = {}
+    for name in union("gauges"):
+        ga = am.get("gauges", {}).get(name) or {}
+        gb = bm.get("gauges", {}).get(name) or {}
+        va, vb = ga.get("last"), gb.get("last")
+        gauges[name] = {
+            "a": va, "b": vb,
+            "delta": (vb - va) if va is not None and vb is not None else None,
+        }
+    return {"counters": counters, "histograms": histograms, "gauges": gauges}
+
+
+def _fmt_num(v) -> str:
+    if v is None:
+        return "-"
+    if isinstance(v, float) and not v.is_integer():
+        return "%.2f" % v
+    return "%g" % v
+
+
+def format_metrics_diff(diff: dict, only_changed: bool = True) -> str:
+    """Render a :func:`diff_metrics` result as an aligned text table."""
+    from ..bench.report import format_table
+
+    rows = []
+    for name, d in sorted(diff["counters"].items()):
+        if only_changed and not d["delta"]:
+            continue
+        rows.append(["counter", name, _fmt_num(d["a"]), _fmt_num(d["b"]),
+                     _fmt_num(d["delta"])])
+    for name, d in sorted(diff["gauges"].items()):
+        if only_changed and not d["delta"]:
+            continue
+        rows.append(["gauge", name, _fmt_num(d["a"]), _fmt_num(d["b"]),
+                     _fmt_num(d["delta"])])
+    for name, h in sorted(diff["histograms"].items()):
+        for q in _HIST_QUANTILES:
+            d = h[q]
+            if only_changed and not d["shift"]:
+                continue
+            rows.append(["hist %s" % q, name, _fmt_num(d["a"]),
+                         _fmt_num(d["b"]), _fmt_num(d["shift"])])
+    if not rows:
+        return "metrics diff: no changes"
+    return format_table(["kind", "metric", "a", "b", "delta"], rows)

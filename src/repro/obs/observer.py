@@ -51,6 +51,7 @@ class Observer:
         self._protocols: List[Any] = []
         self._core_groups: List[Any] = []
         self._dma_engines: List[Any] = []
+        self._runtimes: List[Any] = []
         self._interposed: List[Tuple[Any, str]] = []
 
     # ------------------------------------------------------------------
@@ -88,6 +89,17 @@ class Observer:
             txn.spec.label, "txn", node, "txn", txn.started_at,
             txn.committed_at - txn.started_at, txn_id=txn.txn_id,
             args={"attempts": txn.attempts}))
+
+    def attrib_span(self, phase: str, node: int, start: float, end: float,
+                    txn_id: Optional[int],
+                    svc: Optional[float] = None) -> None:
+        """A latency-attribution interval: time a transaction spent in one
+        phase (wire wait, DMA, host compute, NIC core, backoff, ...).
+        ``svc`` carries the known service portion of a queue+service span
+        so the attributor can split queueing from service."""
+        self.log.append(SpanEvent(
+            phase, "attrib", node, "attrib", start, end - start,
+            txn_id=txn_id, args={"svc": svc} if svc is not None else None))
 
     def txn_abort(self, node: int, txn) -> None:
         args = {"attempt": txn.attempts}
@@ -148,6 +160,9 @@ class Observer:
             i = proto.node.node_id
             proto.obs = self
             self._protocols.append(proto)
+            proto.runtime.obs_sink = self
+            proto.runtime.obs_node = i
+            self._runtimes.append(proto.runtime)
             self._gauge("n%d" % i, "nic_pending",
                         lambda p=proto.runtime.pending: len(p))
             self._interpose_protocol(proto, i)
@@ -204,6 +219,10 @@ class Observer:
         self._interposed.clear()
         for proto in self._protocols:
             proto.obs = None
+        for runtime in self._runtimes:
+            runtime.obs_sink = None
+            runtime.obs_node = 0
+        self._runtimes.clear()
         for group in self._core_groups:
             group.detach_obs()
         for dma in self._dma_engines:

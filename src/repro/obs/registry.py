@@ -149,6 +149,7 @@ class MetricsRegistry:
                 "max": h.max if h.count else None,
                 "p50": h.percentile(50) if h.count else None,
                 "p99": h.percentile(99) if h.count else None,
+                "p999": h.percentile(99.9) if h.count else None,
             }
         return out
 

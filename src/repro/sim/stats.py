@@ -198,6 +198,20 @@ class LatencyRecorder:
     def p99(self) -> float:
         return self.percentile(99.0)
 
+    @property
+    def p999(self) -> float:
+        return self.percentile(99.9)
+
+    def summary(self) -> Dict[str, float]:
+        """Compact p50/p99/p999 summary dict (JSON-ready)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.median,
+            "p99": self.p99,
+            "p999": self.p999,
+        }
+
     def clear(self) -> None:
         self.hist.clear()
         self.stats = OnlineStats()

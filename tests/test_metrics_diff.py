@@ -1,0 +1,67 @@
+"""metrics --diff: structured comparison of two metrics exports."""
+
+import json
+
+from repro.obs.export import diff_metrics, format_metrics_diff
+
+
+def export(counters=None, histograms=None, gauges=None):
+    return {"metrics": {"counters": counters or {},
+                        "histograms": histograms or {},
+                        "gauges": gauges or {}}}
+
+
+def test_counter_deltas_and_missing_sides():
+    a = export(counters={"n0/commits": 10, "n0/only_a": 1})
+    b = export(counters={"n0/commits": 25, "n0/only_b": 2})
+    d = diff_metrics(a, b)
+    assert d["counters"]["n0/commits"] == {"a": 10, "b": 25, "delta": 15}
+    assert d["counters"]["n0/only_a"]["b"] is None
+    assert d["counters"]["n0/only_a"]["delta"] is None
+    assert d["counters"]["n0/only_b"]["a"] is None
+
+
+def test_histogram_quantile_shifts():
+    a = export(histograms={"cluster/txn_latency_us":
+                           {"count": 100, "p50": 8.0, "p99": 20.0,
+                            "p999": 30.0}})
+    b = export(histograms={"cluster/txn_latency_us":
+                           {"count": 120, "p50": 9.0, "p99": 26.0,
+                            "p999": 50.0}})
+    d = diff_metrics(a, b)
+    h = d["histograms"]["cluster/txn_latency_us"]
+    assert h["count_a"] == 100 and h["count_b"] == 120
+    assert h["p99"]["shift"] == 6.0
+    assert h["p999"]["shift"] == 20.0
+
+
+def test_gauges_compare_last_sample():
+    a = export(gauges={"n0/nic_in_use": {"last": 2.0}})
+    b = export(gauges={"n0/nic_in_use": {"last": 5.0}})
+    d = diff_metrics(a, b)
+    assert d["gauges"]["n0/nic_in_use"]["delta"] == 3.0
+
+
+def test_format_only_changed_and_no_changes():
+    a = export(counters={"x": 1, "y": 2})
+    b = export(counters={"x": 1, "y": 5})
+    text = format_metrics_diff(diff_metrics(a, b))
+    assert "y" in text and "3" in text
+    assert "\nx" not in text  # unchanged counters are hidden by default
+    text_all = format_metrics_diff(diff_metrics(a, b), only_changed=False)
+    assert "x" in text_all
+    same = format_metrics_diff(diff_metrics(a, a))
+    assert same == "metrics diff: no changes"
+
+
+def test_metrics_diff_cli(tmp_path, capsys):
+    from repro.__main__ import main
+
+    pa = tmp_path / "a.json"
+    pb = tmp_path / "b.json"
+    pa.write_text(json.dumps(export(counters={"n0/commits": 10})))
+    pb.write_text(json.dumps(export(counters={"n0/commits": 12})))
+    rc = main(["metrics", "--diff", str(pa), str(pb)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "n0/commits" in out
