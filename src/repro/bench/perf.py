@@ -44,12 +44,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.core import AnyOf, Simulator, Timeout
 from ..sim.equeue import QUEUE_KINDS, selected_queue_kind
+from ..sim.fusion import selected_fusion
 from ..sim.link import SerialLink
 from ..sim.resources import Resource
 
-__all__ = ["run_perf", "run_queue_ab", "compare_entries", "load_trajectory",
-           "append_entry", "baseline_entry", "format_results", "format_ab",
-           "measure_scaling", "BENCH_FILE", "SCHEMA", "AB_BENCHES"]
+__all__ = ["run_perf", "run_queue_ab", "run_fusion_ab", "compare_entries",
+           "load_trajectory", "append_entry", "baseline_entry",
+           "format_results", "format_ab", "format_fusion_ab",
+           "measure_scaling", "BENCH_FILE", "SCHEMA", "AB_BENCHES",
+           "FUSION_AB_BENCHES"]
 
 BENCH_FILE = "BENCH_simperf.json"
 SCHEMA = 1
@@ -257,6 +260,27 @@ def _bench_retwis_point(quick: bool) -> Tuple[float, int, int]:
     return wall, bench.sim.events_scheduled, bench._total_commits()
 
 
+def _bench_nodes64(quick: bool) -> Tuple[float, int, int]:
+    """A 64-node Smallbank point: cluster construction, bulk load, and a
+    short measurement window at scale.  Exists to keep construction and
+    loading O(n_nodes) honest (a quadratic term that is invisible at 3
+    nodes dominates here) and to exercise the fused wire/NIC/DMA paths
+    across a wide fabric."""
+    from ..workloads import Smallbank
+    from .runner import Bench
+
+    t0 = time.perf_counter()
+    bench = Bench(
+        "xenic",
+        Smallbank(64, accounts_per_server=250, hot_keys_fraction=0.25),
+        n_nodes=64,
+    )
+    bench.measure(2 if quick else 8, warmup_us=25.0 if quick else 50.0,
+                  window_us=50.0 if quick else 250.0)
+    wall = time.perf_counter() - t0
+    return wall, bench.sim.events_scheduled, bench._total_commits()
+
+
 def _bench_chaos_seed(quick: bool) -> Tuple[float, int, int]:
     """One seeded chaos run: fault injection + invariant checking."""
     from .chaos import run_chaos
@@ -306,6 +330,7 @@ _MICRO: Dict[str, Callable[[int], Tuple[float, int]]] = {
 _END_TO_END: Dict[str, Callable[[bool], Tuple[float, int, int]]] = {
     "fig8d_point": _bench_fig8d_point,
     "retwis_point": _bench_retwis_point,
+    "nodes64": _bench_nodes64,
     "chaos_seed": _bench_chaos_seed,
 }
 
@@ -313,6 +338,10 @@ _END_TO_END: Dict[str, Callable[[bool], Tuple[float, int, int]]] = {
 # engine micro benches plus one end-to-end point.
 AB_BENCHES = ["timeout_churn", "anyof_cancel", "queue_churn",
               "link_stream", "fig8d_point"]
+
+# Default bench set for the fusion A/B: the link-layer micro bench plus
+# the end-to-end points where fused chains dominate the event count.
+FUSION_AB_BENCHES = ["link_stream", "fig8d_point", "nodes64"]
 
 
 def run_perf(quick: bool = True, repeats: int = 3,
@@ -371,6 +400,55 @@ def run_queue_ab(quick: bool = True, repeats: int = 3,
         else:
             os.environ["REPRO_QUEUE"] = saved
     return out
+
+
+def run_fusion_ab(quick: bool = True, repeats: int = 3,
+                  benches: Optional[List[str]] = None,
+                  ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Run the same benches once per delay-fusion leg (``off`` then
+    ``on``), returning ``{leg: results}``.  Selection goes through
+    ``REPRO_FUSION`` — components capture the flag at construction, so
+    each bench run builds fresh models on the requested leg — and the
+    caller's value is restored on exit.  Simulated results are
+    byte-identical between legs (pinned by tests/test_fusion_ab.py);
+    what differs is the scheduler work needed to produce them."""
+    saved = os.environ.get("REPRO_FUSION")
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    try:
+        for kind in ("off", "on"):
+            os.environ["REPRO_FUSION"] = kind
+            out[kind] = run_perf(quick=quick, repeats=repeats,
+                                 benches=benches or FUSION_AB_BENCHES)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_FUSION", None)
+        else:
+            os.environ["REPRO_FUSION"] = saved
+    return out
+
+
+def format_fusion_ab(ab: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Per-bench off-vs-on table.  The headline column is the *event*
+    ratio (fusion removes scheduler entries outright, so events/second —
+    the queue-A/B metric — would understate or even invert the win);
+    ev/txn columns appear for the end-to-end benches."""
+    off, on = ab.get("off", {}), ab.get("on", {})
+    names = [n for n in off if n in on]
+    lines = ["%-16s %12s %12s %9s %9s %9s %9s"
+             % ("bench", "off ev", "on ev", "ev ratio",
+                "wall", "off e/t", "on e/t")]
+    for name in names:
+        o, n = off[name], on[name]
+        ev_ratio = o["events"] / n["events"] if n["events"] else 0.0
+        wall_ratio = o["wall_s"] / n["wall_s"] if n["wall_s"] else 0.0
+        per_txn = (("%9.1f %9.1f" % (o["events_per_txn"],
+                                     n["events_per_txn"]))
+                   if "events_per_txn" in o and "events_per_txn" in n
+                   else "%9s %9s" % ("-", "-"))
+        lines.append("%-16s %12d %12d %8.2fx %8.2fx %s"
+                     % (name, o["events"], n["events"], ev_ratio,
+                        wall_ratio, per_txn))
+    return "\n".join(lines)
 
 
 def format_results(results: Dict[str, Dict[str, float]]) -> str:
@@ -466,6 +544,7 @@ def append_entry(results: Dict[str, Dict[str, float]], quick: bool,
         "python": platform.python_version(),
         "quick": bool(quick),
         "queue": selected_queue_kind(),
+        "fusion": selected_fusion(),
         "results": results,
     }
     data["trajectory"].append(entry)

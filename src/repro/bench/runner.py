@@ -295,6 +295,7 @@ class Bench:
         self._counting = True
         aborts0 = self._total_aborts()
         commits0 = self._total_commits()
+        events0 = self.sim.events_scheduled
         start = self.sim.now
         self.sim.run(until=start + window_us)
         self._counting = False
@@ -319,6 +320,14 @@ class Bench:
         # (tests/test_golden_digest.py) are unaffected.
         result.abort_latency = self._abort_recorder.summary()
         result.abort_reasons = dict(self._abort_reasons)
+        # Scheduler work attribution for this window: queue entries
+        # pushed during the measurement window and the same per committed
+        # txn — the honest cost metric for delay fusion (REPRO_FUSION),
+        # which removes events without moving any simulated timestamp.
+        result.events_scheduled = self.sim.events_scheduled - events0
+        result.events_per_txn = (
+            result.events_scheduled / result.commits if result.commits else 0.0
+        )
         return result
 
     def _total_commits(self) -> int:

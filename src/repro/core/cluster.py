@@ -50,6 +50,12 @@ class XenicCluster:
         self._primary: Dict[int, int] = {i: i for i in range(n_nodes)}
         self.failed: set = set()
         self._workers_started = False
+        # Per-shard backup list cache for the bulk-load path: load_key
+        # recomputes backups_of for every key, which at 64 nodes times
+        # hundreds of thousands of keys dominates construction.  Only
+        # trusted while no node has failed and no primary has moved
+        # (set_primary invalidates; a non-empty failed set bypasses).
+        self._backups_cache: Dict[int, List[int]] = {}
 
     def start(self) -> None:
         """Spawn the background host worker threads (idempotent)."""
@@ -78,6 +84,7 @@ class XenicCluster:
         a replica and a NIC index for it)."""
         self.nodes[node_id].index_for(shard)  # validates
         self._primary[shard] = node_id
+        self._backups_cache.clear()
 
     def backups_of(self, shard: int) -> List[int]:
         """Live backup node ids for ``shard`` (a promoted primary and
@@ -96,7 +103,13 @@ class XenicCluster:
         size = size if size is not None else self.value_size
         shard = self.shard_of(key)
         self.nodes[shard].load_object(shard, key, value, size)
-        for backup in self.backups_of(shard):
+        if self.failed:
+            backups = self.backups_of(shard)
+        else:
+            backups = self._backups_cache.get(shard)
+            if backups is None:
+                backups = self._backups_cache[shard] = self.backups_of(shard)
+        for backup in backups:
             self.nodes[backup].load_object(shard, key, value, size)
 
     def load_keys(self, keys, value_fn: Optional[Callable[[int], Any]] = None,

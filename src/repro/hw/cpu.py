@@ -13,6 +13,7 @@ from heapq import heappop, heappush
 from typing import Optional
 
 from ..sim.core import Event, Simulator, Timeout
+from ..sim.fusion import fusion_enabled
 from ..sim.resources import Resource
 from .params import CpuParams, XEON_GOLD_5218
 
@@ -48,6 +49,9 @@ class CoreGroup:
         self.slowdown = reference.coremark_per_thread / params.coremark_per_thread
         self.jobs_executed = 0
         self.busy_us = 0.0
+        # Delay fusion (REPRO_FUSION): fire-and-forget charges become
+        # virtual occupancies on the pool (no release event).
+        self._fused = fusion_enabled()
         # Observability hook (repro.obs): when attached, each job emits a
         # per-core span.  None keeps the hot path to a single branch.
         self.obs_sink = None
@@ -88,15 +92,22 @@ class CoreGroup:
         Queueing semantics match ``execute_wall`` exactly — when all cores
         are busy the charge waits its FIFO turn — but the free-core case
         runs without a Process or a done event (one Timeout instead of
-        four heap entries).  Falls back to ``execute_wall`` when an
-        observability sink is attached so per-core spans stay complete."""
+        four heap entries).  Under delay fusion the release event goes
+        too: the pool tracks the slot as a virtual occupancy expiring at
+        the same instant the stepwise release Timeout would have fired
+        (``Resource.charge_until``), so the uncontended charge costs zero
+        events.  Falls back to ``execute_wall`` when an observability
+        sink is attached so per-core spans stay complete."""
         if self.obs_sink is not None or not self.pool.try_acquire():
             self.execute_wall(wall_us)
             return
         self.jobs_executed += 1
         self.busy_us += wall_us
         if wall_us > 0:
-            Timeout(self.sim, wall_us).add_callback(self._release_cb)
+            if self._fused:
+                self.pool.charge_until(self.sim._now + wall_us)
+            else:
+                Timeout(self.sim, wall_us).add_callback(self._release_cb)
         else:
             self.pool.release()
 

@@ -38,6 +38,7 @@ from .equeue import (  # noqa: F401  (_COMPACT_MIN_CANCELLED re-exported)
     EventQueue,
     make_queue,
 )
+from .fusion import fusion_enabled
 
 __all__ = [
     "Simulator",
@@ -78,9 +79,16 @@ class Event:
     The first callback lives in ``_cb0``; only a second registration
     allocates the overflow list, so the ubiquitous one-waiter events
     (timeouts, transfers, resource grants) never build a list at all.
+
+    ``_riders`` is the same-deadline merging hook (``REPRO_FUSION``, see
+    :meth:`Simulator._riding_push`): on an event that owns a queue entry
+    it holds the list of ``(event, value)`` pairs scheduled for the same
+    timestamp, fired in attach order right after this event's entry pops;
+    on an event that *is* a rider it holds the ``_RIDING`` marker.
     """
 
-    __slots__ = ("sim", "_cb0", "_callbacks", "_ok", "_value", "_name")
+    __slots__ = ("sim", "_cb0", "_callbacks", "_ok", "_value", "_name",
+                 "_riders")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -89,6 +97,7 @@ class Event:
         self._ok: Optional[bool] = None
         self._value: Any = None
         self._name = name
+        self._riders: Any = None
 
     @property
     def triggered(self) -> bool:
@@ -152,6 +161,13 @@ class Event:
                 % (self._name, self.callback_count))
         self._ok = False
         self._value = _CANCELLED
+        if self._riders is _RIDING:
+            # A cancelled rider will be skipped (not fired) by its host's
+            # dispatch loop, so settle its pending-count here — mirroring
+            # how stepwise compaction eventually discards a cancelled
+            # queue entry.  The host's own entry stays queued, so this
+            # can never fake quiescence while the cohort is live.
+            self.sim._riders_pending -= 1
         return True
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -214,6 +230,13 @@ class Event:
 # cancelled event has no callbacks and is skipped by the scheduler.
 _CANCELLED = SimulationError("event cancelled")
 
+# ``_riders`` marker for an event that was absorbed as a same-deadline
+# rider instead of entering the queue (see Simulator._riding_push).  An
+# empty tuple so the per-pop ``riders is not None`` check can never
+# mistake it for a host's (always non-empty) rider list — a rider owns
+# no queue entry, so it is never popped.
+_RIDING: tuple = ()
+
 
 class Timeout(Event):
     """An event that fires ``delay`` microseconds after creation."""
@@ -231,13 +254,18 @@ class Timeout(Event):
         self._ok = None
         self._value = None
         self._name = "timeout"
+        self._riders = None
         self.delay = delay
         sim._push(sim._now + delay, self, value)
 
     def cancel(self) -> bool:
         if not Event.cancel(self):
             return False
-        self.sim._note_cancelled()
+        if self._riders is not _RIDING:
+            # A rider has no queue entry: counting its cancellation would
+            # skew the lazy-deletion compaction trigger off the stepwise
+            # leg's schedule.
+            self.sim._note_cancelled()
         return True
 
 
@@ -331,6 +359,21 @@ def _raise(exc: BaseException) -> None:
     raise exc
 
 
+class _StartNow:
+    """Pre-triggered pseudo-event that seeds an immediate process start.
+
+    Quacks like a succeeded Event as far as :meth:`Process._resume` is
+    concerned (``_ok`` truthy, ``_value`` None); never scheduled, never
+    dispatched, shared by every immediate start."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_START_NOW = _StartNow()
+
+
 class Process(Event):
     """A running coroutine.  Also an event: it fires with the generator's
     return value when the generator completes, or fails with its uncaught
@@ -338,7 +381,8 @@ class Process(Event):
 
     __slots__ = ("_gen", "_waiting_on", "_send", "_gthrow", "_wait_cb")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "",
+                 immediate: bool = False):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
         # Bind the generator's send/throw and our wait callback once: the
@@ -356,6 +400,13 @@ class Process(Event):
         # stale wakeups (e.g. an interrupt racing the event trigger), so
         # no intermediate callback frame is needed on the per-yield path.
         self._wait_cb = self._resume
+        if immediate:
+            # Delay-fusion fast path (Simulator.start): drive the
+            # generator to its first yield synchronously, scheduling
+            # nothing — the caller's frame is the start event.
+            self._waiting_on = _START_NOW
+            self._resume(_START_NOW)
+            return
         # Start on the next scheduler step so the spawner can keep a handle.
         start = Event(sim, name="start")
         self._waiting_on: Optional[Event] = start
@@ -475,8 +526,23 @@ class Simulator:
             queue = make_queue(queue)
         self._q = queue
         # Every scheduling path funnels through this one bound method —
-        # the queue assigns seq numbers and owns the entry layout.
-        self._push = queue.push
+        # the queue assigns seq numbers and owns the entry layout.  Under
+        # delay fusion the funnel is _riding_push, which absorbs pushes
+        # whose deadline collides with a pending entry as riders on that
+        # entry instead of growing the queue.
+        self._riders_pending = 0
+        if fusion_enabled():
+            self._open: dict = {}
+            # Parked drain loops (repro.sim.link) by the instant their
+            # skipped idle timeout would have fired.  The first push at
+            # exactly that instant materializes the parked wake *first*,
+            # so it hosts the timestamp and fires ahead of the incoming
+            # entry — the position the stepwise timeout (pushed at round
+            # start, before anything else now pending there) would hold.
+            self._floors: dict = {}
+            self._push = self._riding_push
+        else:
+            self._push = queue.push
         self._processes_spawned = 0
         self._hook: Optional[Callable[[Event, float, Any], None]] = None
 
@@ -493,8 +559,13 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Scheduled events not yet fired.  Zero means quiescence: in a
-        closed discrete-event simulation no process can run again."""
-        return len(self._q)
+        closed discrete-event simulation no process can run again.
+        Riders of an in-flight pop batch (``_riding_push``) are pending
+        events that already left the queue, so they are counted in —
+        without them a process resumed by the batch's host entry would
+        see false quiescence while its same-instant cohort still waits
+        to fire."""
+        return len(self._q) + self._riders_pending
 
     @property
     def events_scheduled(self) -> int:
@@ -503,6 +574,67 @@ class Simulator:
         return self._q.seq
 
     # -- scheduling -------------------------------------------------------
+
+    def _riding_push(self, when: float, event: Event, value: Any) -> None:
+        """Same-deadline rider merging (the ``REPRO_FUSION`` queue-layer
+        fast path).  Two entries with equal timestamps always pop
+        consecutively in push order — nothing at another time can sort
+        between them — so a push whose ``when`` collides with a *pending*
+        queue entry need not enter the queue at all: it rides that host
+        entry and fires, in attach order, right after the host's pop.
+        This is exact by construction: the dispatch sequence is
+        byte-identical to the stepwise pop order.
+
+        ``_open`` maps each timestamp to the entry pushed for it;
+        ``host._ok is None`` holds iff that entry is still queued
+        (entries leave only via pop or compaction, and both set or
+        require ``_ok`` — compaction keeps stale hosts whose riders
+        still must fire).  A dead host is simply replaced: the new entry
+        pops after any in-flight rider batch, matching the seq order the
+        stepwise leg would have produced."""
+        floors = self._floors
+        if floors:
+            parked = floors.pop(when, None)
+            if parked is not None:
+                for ln in parked:
+                    ln._materialize(when)
+        open_ = self._open
+        # setdefault keeps the no-collision fast path at one dict probe:
+        # it returns ``event`` iff the slot was empty and we just claimed
+        # it; an existing pending host absorbs the push as a rider; a
+        # stale host is overwritten.
+        host = open_.setdefault(when, event)
+        if host is not event:
+            if host._ok is None:
+                riders = host._riders
+                if riders is None:
+                    host._riders = [(event, value)]
+                else:
+                    riders.append((event, value))
+                event._riders = _RIDING
+                self._riders_pending += 1
+                return
+            open_[when] = event
+        self._q.push(when, event, value)
+        if len(open_) >= 8192 and len(open_) > (len(self._q) << 2):
+            # The slot table only ever grows on distinct timestamps;
+            # shed dead hosts once it dwarfs the live queue.
+            self._open = {w: e for w, e in open_.items() if e._ok is None}
+
+    def _fire_riders(self, riders: list) -> None:
+        """Dispatch a popped host entry's same-deadline riders in attach
+        order (slow path: step / hooked runs; the queue drain loops
+        inline this).  Cancelled riders are skipped exactly like stale
+        queue entries."""
+        hook = self._hook
+        for rev, rval in riders:
+            if rev._ok is None:
+                self._riders_pending -= 1
+                if hook is not None:
+                    hook(rev, self._now, rval)
+                rev._ok = True
+                rev._value = rval
+                rev._dispatch()
 
     def _schedule_at(self, when: float, event: Event, value: Any) -> None:
         if when < self._now:
@@ -533,10 +665,42 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def call_at(self, when: float,
+                fn: Optional[Callable[[Event], None]] = None) -> Event:
+        """Schedule ``fn(event)`` at *absolute* simulated time ``when``
+        (must be >= now — not checked, hot path).  With ``fn=None`` the
+        bare event is returned for a process to ``yield`` on.
+
+        The absolute-time counterpart of ``Timeout(...).add_callback``
+        for fused delay chains (``repro.sim.fusion``): a chain replacing
+        ``timeout(a) → timeout(b)`` must land on exactly the float
+        timestamp ``(now + a) + b``, which ``Timeout(sim, a + b)`` does
+        not guarantee (float addition is not associative)."""
+        ev = Event(self, "fused")
+        ev._cb0 = fn
+        self._push(when, ev, None)
+        return ev
+
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Register a generator as a concurrently running process."""
         self._processes_spawned += 1
         return Process(self, gen, name=name)
+
+    def start(self, gen: Generator, name: str = "") -> Process:
+        """Spawn a process that starts *immediately*: the generator runs
+        to its first yield inside this call, with no start event pushed
+        through the scheduler.
+
+        The delay-fusion fast path (``REPRO_FUSION``, see
+        ``repro.sim.fusion``): a ``spawn`` defers the generator's first
+        slice to the next same-timestamp scheduler step, which costs one
+        queue entry purely to preserve hand-off laziness the fused call
+        sites do not rely on.  Semantics otherwise match :meth:`spawn` —
+        the returned :class:`Process` is still an event that fires with
+        the generator's return value (possibly already triggered, if the
+        generator never yields)."""
+        self._processes_spawned += 1
+        return Process(self, gen, name=name, immediate=True)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -555,7 +719,8 @@ class Simulator:
         event._dispatch()
 
     def step(self) -> bool:
-        """Process one scheduled entry; returns False if the queue is empty."""
+        """Process one scheduled entry (plus any same-deadline riders it
+        carries); returns False if the queue is empty."""
         pop = self._q.pop_min
         while True:
             entry = pop()
@@ -565,9 +730,19 @@ class Simulator:
             self._now = when
             if event._ok is not None:
                 # A Timeout that was abandoned (e.g. AnyOf loser) cannot be
-                # re-triggered; skip it.
+                # re-triggered; skip it — but its riders are live entries
+                # in their own right and still fire here.
+                riders = event._riders
+                if riders is not None:
+                    event._riders = None
+                    self._fire_riders(riders)
+                    return True
                 continue
             self._fire(event, value)
+            riders = event._riders
+            if riders is not None:
+                event._riders = None
+                self._fire_riders(riders)
             return True
 
     def _step_bounded(self, until: float) -> bool:
@@ -583,8 +758,17 @@ class Simulator:
             self._now = when
             event = entry[2]
             if event._ok is not None:
+                riders = event._riders
+                if riders is not None:
+                    event._riders = None
+                    self._fire_riders(riders)
+                    return True
                 continue
             self._fire(event, entry[3])
+            riders = event._riders
+            if riders is not None:
+                event._riders = None
+                self._fire_riders(riders)
             return True
 
     def run(self, until: Optional[float] = None) -> float:
