@@ -1,3 +1,60 @@
-from setuptools import setup
+"""Build script: the package is pure Python plus ONE optional C
+extension, ``repro.sim._ckern`` (the compiled engine core selected via
+``REPRO_COMPILED``; see ``src/repro/sim/compiled.py``).
 
-setup()
+The extension is strictly optional: any compiler or header failure
+logs a warning and the build continues, leaving the always-working
+pure-Python fallback.  ``REPRO_BUILD_CKERN=0`` skips the compile
+attempt outright (e.g. the CI leg that proves the fallback).
+
+Developer build (drops the .so next to the sources)::
+
+    python setup.py build_ext --inplace
+"""
+
+import os
+import sys
+
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class optional_build_ext(build_ext):
+    """build_ext that degrades to a warning on any compile failure."""
+
+    def run(self):
+        try:
+            build_ext.run(self)
+        except Exception as exc:  # noqa: BLE001 - any failure is non-fatal
+            self._warn(exc)
+
+    def build_extension(self, ext):
+        try:
+            build_ext.build_extension(self, ext)
+        except Exception as exc:  # noqa: BLE001
+            self._warn(exc)
+
+    @staticmethod
+    def _warn(exc):
+        sys.stderr.write(
+            "warning: building repro.sim._ckern failed (%s); "
+            "continuing with the pure-Python engine "
+            "(REPRO_COMPILED=auto|off)\n" % (exc,))
+
+
+def extensions():
+    if os.environ.get("REPRO_BUILD_CKERN", "1") == "0":
+        return []
+    return [
+        Extension(
+            "repro.sim._ckern",
+            sources=["src/repro/sim/_ckern.c"],
+            optional=True,
+        )
+    ]
+
+
+setup(
+    ext_modules=extensions(),
+    cmdclass={"build_ext": optional_build_ext},
+)

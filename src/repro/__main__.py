@@ -306,8 +306,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(docs/PERFORMANCE.md)")
     perf.add_argument("--full", action="store_true",
                       help="larger op counts / windows")
-    perf.add_argument("--repeats", type=int, default=3,
-                      help="runs per bench; best wall time wins")
+    perf.add_argument("--repeat", "--repeats", dest="repeats", type=int,
+                      default=3,
+                      help="runs per bench; best wall time wins "
+                           "(default: %(default)s)")
+    perf.add_argument("--quick", action="store_true",
+                      help="single-shot smoke run: one repeat per bench "
+                           "(skips the best-of-N noise stripping)")
     perf.add_argument("--bench", action="append", default=None,
                       metavar="NAME", help="run only this bench "
                       "(repeatable)")
@@ -332,9 +337,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run each bench once per event-queue "
                            "implementation (REPRO_QUEUE=heap|calendar) "
                            "and print the side-by-side ratio")
+    perf.add_argument("--ab-compiled", action="store_true",
+                      help="run the bench set once per compiled-engine "
+                           "leg (REPRO_COMPILED=off, on) and print the "
+                           "wall-time ratio table (simulated results "
+                           "are byte-identical between legs; requires "
+                           "the repro.sim._ckern extension)")
     perf.add_argument("--ab-out", default=None, metavar="FILE",
-                      help="with --ab-queues/--ab-fusion: also write the raw A/B "
-                           "results as JSON (CI artifact)")
+                      help="with --ab-queues/--ab-fusion/--ab-compiled: "
+                           "also write the raw A/B results as JSON "
+                           "(CI artifact)")
     perf.add_argument("--profile", action="store_true",
                       help="run the benches under cProfile and print the "
                            "hottest functions (skips baseline compare: "
@@ -502,14 +514,32 @@ def run_chaos_command(args) -> int:
 
 def run_perf_command(args) -> int:
     from .bench.perf import (BENCH_FILE, append_entry, baseline_entry,
-                             compare_entries, format_ab, format_fusion_ab,
-                             format_results, measure_scaling, run_perf,
+                             compare_entries, format_ab, format_compiled_ab,
+                             format_fusion_ab, format_results,
+                             measure_scaling, run_compiled_ab, run_perf,
                              run_fusion_ab, run_queue_ab)
 
     quick = not args.full
+    repeats = 1 if args.quick else args.repeats
     path = args.baseline or BENCH_FILE
+    if args.ab_compiled:
+        try:
+            ab = run_compiled_ab(quick=quick, repeats=repeats,
+                                 benches=args.bench)
+        except RuntimeError as exc:
+            print("error: %s" % exc)
+            return 2
+        print(format_compiled_ab(ab))
+        if args.ab_out:
+            import json
+
+            with open(args.ab_out, "w") as fh:
+                json.dump(ab, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print("wrote %s" % args.ab_out)
+        return 0
     if args.ab_fusion:
-        ab = run_fusion_ab(quick=quick, repeats=args.repeats,
+        ab = run_fusion_ab(quick=quick, repeats=repeats,
                            benches=args.bench)
         print(format_fusion_ab(ab))
         if args.ab_out:
@@ -521,7 +551,7 @@ def run_perf_command(args) -> int:
             print("wrote %s" % args.ab_out)
         return 0
     if args.ab_queues:
-        ab = run_queue_ab(quick=quick, repeats=args.repeats,
+        ab = run_queue_ab(quick=quick, repeats=repeats,
                           benches=args.bench)
         print(format_ab(ab))
         if args.ab_out:
@@ -538,7 +568,7 @@ def run_perf_command(args) -> int:
 
         prof = cProfile.Profile()
         prof.enable()
-        results = run_perf(quick=quick, repeats=args.repeats,
+        results = run_perf(quick=quick, repeats=repeats,
                            benches=args.bench, verbose=False)
         prof.disable()
         print(format_results(results))
@@ -551,7 +581,7 @@ def run_perf_command(args) -> int:
         # Profiled wall times carry tracer overhead — never compare them
         # against (or record them into) the un-profiled trajectory.
         return 0
-    results = run_perf(quick=quick, repeats=args.repeats,
+    results = run_perf(quick=quick, repeats=repeats,
                        benches=args.bench, verbose=False)
     print(format_results(results))
     jobs = getattr(args, "jobs", 1)

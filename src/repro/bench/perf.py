@@ -42,17 +42,20 @@ import platform
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..sim.compiled import compiled_available, selected_compiled
 from ..sim.core import AnyOf, Simulator, Timeout
 from ..sim.equeue import QUEUE_KINDS, selected_queue_kind
 from ..sim.fusion import selected_fusion
 from ..sim.link import SerialLink
 from ..sim.resources import Resource
 
-__all__ = ["run_perf", "run_queue_ab", "run_fusion_ab", "compare_entries",
+__all__ = ["run_perf", "run_queue_ab", "run_fusion_ab", "run_compiled_ab",
+           "compare_entries",
            "load_trajectory", "append_entry", "baseline_entry",
            "format_results", "format_ab", "format_fusion_ab",
+           "format_compiled_ab",
            "measure_scaling", "BENCH_FILE", "SCHEMA", "AB_BENCHES",
-           "FUSION_AB_BENCHES"]
+           "FUSION_AB_BENCHES", "COMPILED_AB_BENCHES"]
 
 BENCH_FILE = "BENCH_simperf.json"
 SCHEMA = 1
@@ -343,6 +346,13 @@ AB_BENCHES = ["timeout_churn", "anyof_cancel", "queue_churn",
 # the end-to-end points where fused chains dominate the event count.
 FUSION_AB_BENCHES = ["link_stream", "fig8d_point", "nodes64"]
 
+# Default bench set for the compiled-core A/B: the engine-bound micro
+# benches (where the C fast paths dominate wall time) plus one
+# end-to-end point (where Amdahl dilutes them — see
+# docs/PERFORMANCE.md, compiled core).
+COMPILED_AB_BENCHES = ["timeout_churn", "anyof_cancel", "queue_churn",
+                       "link_stream", "fig8d_point"]
+
 
 def run_perf(quick: bool = True, repeats: int = 3,
              benches: Optional[List[str]] = None,
@@ -427,6 +437,40 @@ def run_fusion_ab(quick: bool = True, repeats: int = 3,
     return out
 
 
+def run_compiled_ab(quick: bool = True, repeats: int = 3,
+                    benches: Optional[List[str]] = None,
+                    ) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Run the same benches once per compiled-engine leg (``off`` then
+    ``on``), returning ``{leg: results}``.  Selection goes through
+    ``REPRO_COMPILED`` — every ``Simulator()`` re-reads it at
+    construction and installs/removes the extension's method patches to
+    match, so the two legs run in the same process — and the caller's
+    value is restored on exit.  Simulated results are byte-identical
+    between legs (pinned by tests/test_compiled.py); only wall time
+    differs, so the headline metric is the wall ratio.
+
+    Raises RuntimeError when the ``repro.sim._ckern`` extension is not
+    importable (there is nothing to A/B against)."""
+    if not compiled_available():
+        raise RuntimeError(
+            "repro.sim._ckern is not importable — build it with "
+            "`python setup.py build_ext --inplace` before running "
+            "the compiled A/B")
+    saved = os.environ.get("REPRO_COMPILED")
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    try:
+        for kind in ("off", "on"):
+            os.environ["REPRO_COMPILED"] = kind
+            out[kind] = run_perf(quick=quick, repeats=repeats,
+                                 benches=benches or COMPILED_AB_BENCHES)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_COMPILED", None)
+        else:
+            os.environ["REPRO_COMPILED"] = saved
+    return out
+
+
 def format_fusion_ab(ab: Dict[str, Dict[str, Dict[str, float]]]) -> str:
     """Per-bench off-vs-on table.  The headline column is the *event*
     ratio (fusion removes scheduler entries outright, so events/second —
@@ -448,6 +492,25 @@ def format_fusion_ab(ab: Dict[str, Dict[str, Dict[str, float]]]) -> str:
         lines.append("%-16s %12d %12d %8.2fx %8.2fx %s"
                      % (name, o["events"], n["events"], ev_ratio,
                         wall_ratio, per_txn))
+    return "\n".join(lines)
+
+
+def format_compiled_ab(ab: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Per-bench off-vs-on table for the compiled legs.  Event counts
+    are identical between legs (same simulation, same schedule), so the
+    headline column is the wall-time ratio off/on — >1.0 means the
+    compiled leg is faster."""
+    off, on = ab.get("off", {}), ab.get("on", {})
+    names = [n for n in off if n in on]
+    lines = ["%-16s %10s %10s %9s %12s"
+             % ("bench", "off wall", "on wall", "speedup", "events")]
+    for name in names:
+        o, n = off[name], on[name]
+        ratio = o["wall_s"] / n["wall_s"] if n["wall_s"] else 0.0
+        ev = ("%12d" % o["events"] if o["events"] == n["events"]
+              else "%d!=%d" % (o["events"], n["events"]))
+        lines.append("%-16s %9.3fs %9.3fs %8.2fx %s"
+                     % (name, o["wall_s"], n["wall_s"], ratio, ev))
     return "\n".join(lines)
 
 
@@ -545,6 +608,8 @@ def append_entry(results: Dict[str, Dict[str, float]], quick: bool,
         "quick": bool(quick),
         "queue": selected_queue_kind(),
         "fusion": selected_fusion(),
+        "compiled": selected_compiled(),
+        "compiled_available": compiled_available(),
         "results": results,
     }
     data["trajectory"].append(entry)

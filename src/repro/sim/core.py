@@ -38,6 +38,7 @@ from .equeue import (  # noqa: F401  (_COMPACT_MIN_CANCELLED re-exported)
     EventQueue,
     make_queue,
 )
+from .compiled import active_kernel, ensure_leg
 from .fusion import fusion_enabled
 
 __all__ = [
@@ -517,8 +518,19 @@ class Simulator:
         assert proc.value == "done"
     """
 
+    # Fixed layout: the compiled kernel (repro.sim._ckern, selected via
+    # REPRO_COMPILED) drives these fields through their slot offsets, so
+    # the set is closed.  _open/_floors/_hwm exist only on the fused leg.
+    __slots__ = ("_now", "_q", "_riders_pending", "_open", "_floors",
+                 "_hwm", "_push", "_processes_spawned", "_hook")
+
     def __init__(self, queue: Union[str, EventQueue, None] = None):
         self._now = 0.0
+        # Compiled-leg selection happens per construction (REPRO_COMPILED,
+        # see repro.sim.compiled): ensure_leg() installs or removes the
+        # compiled method patches to match the environment, and the
+        # kernel handle below picks the compiled queue/push counterparts.
+        kern = active_kernel() if ensure_leg() else None
         # The scheduler structure is pluggable (docs/PERFORMANCE.md):
         # "calendar" (default) or "heap", selected per instance, via the
         # REPRO_QUEUE environment variable, or by passing an EventQueue.
@@ -532,6 +544,11 @@ class Simulator:
         # entry instead of growing the queue.
         self._riders_pending = 0
         if fusion_enabled():
+            # High-water mark of every timestamp ever pushed: a push
+            # strictly above it cannot collide with any pending entry,
+            # so _riding_push skips the slot-table work entirely for
+            # monotone (push-dominated) schedules.
+            self._hwm = -1.0
             self._open: dict = {}
             # Parked drain loops (repro.sim.link) by the instant their
             # skipped idle timeout would have fired.  The first push at
@@ -540,7 +557,12 @@ class Simulator:
             # entry — the position the stepwise timeout (pushed at round
             # start, before anything else now pending there) would hold.
             self._floors: dict = {}
-            self._push = self._riding_push
+            if kern is not None:
+                # Compiled riding push, bound to (sim, queue) so the C
+                # code reaches both without per-call attribute lookups.
+                self._push = kern.RidingPush(self, queue).push
+            else:
+                self._push = self._riding_push
         else:
             self._push = queue.push
         self._processes_spawned = 0
@@ -598,6 +620,17 @@ class Simulator:
             if parked is not None:
                 for ln in parked:
                     ln._materialize(when)
+        if when > self._hwm:
+            # Fresh high-water mark: no entry was ever pushed at this
+            # instant, so the slot probe below cannot find a host.  Skip
+            # the dict work — the entry goes unregistered, and the first
+            # *follower* at this timestamp claims the slot and hosts any
+            # later riders.  Dispatch order is unchanged either way:
+            # same-instant entries fire in (when, seq) order whether the
+            # first one hosts or merely precedes the host in the queue.
+            self._hwm = when
+            self._q.push(when, event, value)
+            return
         open_ = self._open
         # setdefault keeps the no-collision fast path at one dict probe:
         # it returns ``event`` iff the slot was empty and we just claimed

@@ -88,13 +88,20 @@ def selected_queue_kind() -> str:
 
 def make_queue(kind: Optional[str] = None) -> "EventQueue":
     """Build an event queue by name (``heap`` / ``calendar``); ``None``
-    resolves through ``REPRO_QUEUE`` with the calendar default."""
+    resolves through ``REPRO_QUEUE`` with the calendar default.
+
+    When the compiled leg is active (``REPRO_COMPILED``, see
+    :mod:`repro.sim.compiled`) the extension's queue twins are returned
+    instead — same ``kind`` names, same pop order, same digest."""
     if kind is None:
         kind = selected_queue_kind()
+    from .compiled import active_kernel  # lazy: avoids an import cycle
+    kern = active_kernel()
     if kind == "heap":
-        return HeapEventQueue()
+        return kern.CHeapQueue() if kern is not None else HeapEventQueue()
     if kind == "calendar":
-        return CalendarEventQueue()
+        return (kern.CCalendarQueue() if kern is not None
+                else CalendarEventQueue())
     raise ValueError("unknown event queue %r (have: %s)"
                      % (kind, ", ".join(QUEUE_KINDS)))
 

@@ -30,8 +30,16 @@ KINDS = ["heap", "calendar"]
 
 
 def test_make_queue_by_name():
-    assert isinstance(make_queue("heap"), HeapEventQueue)
-    assert isinstance(make_queue("calendar"), CalendarEventQueue)
+    # With the compiled leg active (REPRO_COMPILED, PR 10) make_queue
+    # returns the extension's queue twins; the contract is the kind
+    # name plus the EventQueue protocol, not the concrete class.
+    from repro.sim.compiled import compiled_active
+
+    heap, cal = make_queue("heap"), make_queue("calendar")
+    assert heap.kind == "heap" and cal.kind == "calendar"
+    if not compiled_active():
+        assert isinstance(heap, HeapEventQueue)
+        assert isinstance(cal, CalendarEventQueue)
     with pytest.raises(ValueError):
         make_queue("splay")
 
@@ -255,6 +263,81 @@ def test_calendar_push_into_active_band():
     sim.spawn(proc())
     sim.run()
     assert fired == [1.0, 1.5, 3.0]
+
+
+# ---------------------------------------------------------------------------
+# property test: random op streams, identical across every queue impl
+# ---------------------------------------------------------------------------
+
+
+def _drive(queue_kind, compiled_leg, ops):
+    """Replay one random op stream on one (queue, compiled) variant and
+    return everything digest-visible: the fire/cancel log, the final
+    clock, and the scheduled-event counter."""
+    saved = os.environ.get("REPRO_COMPILED")
+    os.environ["REPRO_COMPILED"] = compiled_leg
+    try:
+        sim = Simulator(queue=queue_kind)
+        log = []
+        handles = []
+        for op in ops:
+            if op[0] == "push":
+                i = len(handles)
+                t = Timeout(sim, op[1])
+                cb = lambda _e, i=i: log.append(("fire", i, sim.now))  # noqa: E731
+                t.add_callback(cb)
+                handles.append((t, cb))
+            elif op[0] == "cancel":
+                if handles:
+                    idx = op[1] % len(handles)
+                    t, cb = handles[idx]
+                    if t._ok is None:
+                        # Detach first, the way the engine abandons a
+                        # timeout (cancel refuses with live callbacks).
+                        t.remove_callback(cb)
+                        log.append(("cancel", idx, t.cancel()))
+                    else:
+                        log.append(("cancel", idx, False))
+            else:  # ("run", dt): bounded drain, stale heads included
+                sim.run(until=sim.now + op[1])
+                log.append(("clock", sim.now))
+        sim.run()
+        return log, sim.now, sim.events_scheduled
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_COMPILED", None)
+        else:
+            os.environ["REPRO_COMPILED"] = saved
+
+
+_hyp = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_delay = st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+                   allow_infinity=False)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _delay),
+        st.tuples(st.just("cancel"), st.integers(min_value=0,
+                                                 max_value=10 ** 6)),
+        st.tuples(st.just("run"), _delay),
+    ),
+    max_size=50,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=_ops)
+def test_random_streams_identical_across_impls(ops):
+    """Random push/cancel/run(until) streams must produce the identical
+    pop order, final clock, and event counter on the heap queue, the
+    calendar queue, and (when built) both compiled twins."""
+    from repro.sim.compiled import compiled_available
+
+    legs = ["off"] + (["on"] if compiled_available() else [])
+    traces = [_drive(kind, leg, ops) for kind in KINDS for leg in legs]
+    for t in traces[1:]:
+        assert t == traces[0]
 
 
 def test_queue_kind_metadata_roundtrip():
